@@ -1,0 +1,124 @@
+//! Estimator benches: the §5.3 comparison (KSG vs KDE vs shrinkage
+//! binning) as runtime measurements, plus KSG ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sops_info::binning::{multi_information_binned, BinningConfig};
+use sops_info::entropy::kl_entropy;
+use sops_info::gaussian::{equicorrelated_cov, sample_gaussian};
+use sops_info::kde::{multi_information_kde, KdeConfig};
+use sops_info::{multi_information, KsgConfig, KsgVariant, SampleView};
+use std::hint::black_box;
+
+/// Gaussian fixture: `blocks` scalar observers, correlation 0.4.
+fn fixture(m: usize, blocks: usize) -> (Vec<f64>, Vec<usize>) {
+    let cov = equicorrelated_cov(blocks, 0.4);
+    (sample_gaussian(&cov, m, 99), vec![1usize; blocks])
+}
+
+fn bench_ksg_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksg_variant");
+    group.sample_size(20);
+    let (data, sizes) = fixture(500, 8);
+    let view = SampleView::new(&data, 500, &sizes);
+    for variant in [KsgVariant::Ksg1, KsgVariant::Ksg2, KsgVariant::Paper] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    multi_information(
+                        black_box(&view),
+                        &KsgConfig {
+                            k: 4,
+                            variant,
+                            threads: 1,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ksg_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksg_scaling");
+    group.sample_size(15);
+    for &(m, blocks) in &[(200usize, 10usize), (500, 10), (500, 40), (1000, 40)] {
+        let (data, sizes) = fixture(m, blocks);
+        let view = SampleView::new(&data, m, &sizes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_n{blocks}")),
+            &view,
+            |b, view| b.iter(|| multi_information(black_box(view), &KsgConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ksg_k_sensitivity(c: &mut Criterion) {
+    // Ablation: the paper reports insensitivity for k ∈ {2, ..., 10}; the
+    // runtime cost of larger k is what this measures.
+    let mut group = c.benchmark_group("ksg_k");
+    group.sample_size(20);
+    let (data, sizes) = fixture(500, 8);
+    let view = SampleView::new(&data, 500, &sizes);
+    for &k in &[2usize, 4, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                multi_information(
+                    black_box(&view),
+                    &KsgConfig {
+                        k,
+                        ..KsgConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator_comparison(c: &mut Criterion) {
+    // §5.3: "[the KDE approach] was multiple orders of magnitudes slower";
+    // binning is fast but wrong in high-d (accuracy covered by tests).
+    let mut group = c.benchmark_group("estimator_comparison");
+    group.sample_size(10);
+    let (data, sizes) = fixture(400, 8);
+    let view = SampleView::new(&data, 400, &sizes);
+    group.bench_function("ksg1", |b| {
+        b.iter(|| multi_information(black_box(&view), &KsgConfig::default()))
+    });
+    group.bench_function("kde", |b| {
+        b.iter(|| multi_information_kde(black_box(&view), &KdeConfig::default()))
+    });
+    group.bench_function("binning_js", |b| {
+        b.iter(|| multi_information_binned(black_box(&view), &BinningConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_kl_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kl_entropy");
+    group.sample_size(20);
+    for &(m, d) in &[(500usize, 2usize), (1000, 4)] {
+        let cov = equicorrelated_cov(d, 0.3);
+        let data = sample_gaussian(&cov, m, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_d{d}")),
+            &data,
+            |b, data| b.iter(|| kl_entropy(black_box(data), m, d, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ksg_variants,
+    bench_ksg_scaling,
+    bench_ksg_k_sensitivity,
+    bench_estimator_comparison,
+    bench_kl_entropy
+);
+criterion_main!(benches);

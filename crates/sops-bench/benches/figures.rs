@@ -1,0 +1,61 @@
+//! One benchmark per paper figure: the kernel that regenerates each
+//! figure, at `RunOptions::fast` scale so the whole suite completes in
+//! minutes. Full-scale regeneration is `cargo run --release -p
+//! sops-repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sops_core::figures;
+use sops_core::RunOptions;
+use std::hint::black_box;
+
+fn fast_opts(seed: u64) -> RunOptions {
+    RunOptions {
+        fast: true,
+        seed,
+        threads: 0,
+        out_dir: None,
+    }
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $group:literal, $module:ident, $samples:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut group = c.benchmark_group("figures");
+            group.sample_size($samples);
+            group.bench_function($group, |b| {
+                b.iter(|| black_box(figures::$module::run(&fast_opts(1))))
+            });
+            group.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig1, "fig1_example_configuration", fig1, 10);
+fig_bench!(bench_fig2, "fig2_force_curves", fig2, 30);
+fig_bench!(bench_fig3, "fig3_equilibria", fig3, 10);
+fig_bench!(bench_fig4, "fig4_pipeline", fig4, 10);
+fig_bench!(bench_fig5, "fig5_rings", fig5, 10);
+fig_bench!(bench_fig6, "fig6_gallery", fig6, 10);
+fig_bench!(bench_fig7, "fig7_alignment", fig7, 10);
+fig_bench!(bench_fig8, "fig8_type_sweep", fig8, 10);
+fig_bench!(bench_fig9, "fig9_radius_sweep", fig9, 10);
+fig_bench!(bench_fig10, "fig10_types_radius", fig10, 10);
+fig_bench!(bench_fig11, "fig11_decomposition", fig11, 10);
+fig_bench!(bench_fig12, "fig12_emergent_structures", fig12, 10);
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Simulation benches: force-evaluation paths, integrator ablations and
+//! ensemble throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sops_bench::cloud;
+use sops_math::PairMatrix;
+use sops_sim::ensemble::{run_ensemble, EnsembleSpec};
+use sops_sim::force::{ForceModel, GaussianForce, LinearForce};
+use sops_sim::{IntegratorConfig, Model, Simulation};
+use std::hint::black_box;
+
+fn linear_model(n: usize, cutoff: f64) -> Model {
+    Model::balanced(
+        n,
+        ForceModel::Linear(LinearForce::uniform(1.0, 2.0)),
+        cutoff,
+    )
+}
+
+fn bench_force_paths(c: &mut Criterion) {
+    // The cell-grid path activates for finite cutoff and n >= 64; compare
+    // against the direct O(n²) loop via an infinite cutoff of equal work.
+    let mut group = c.benchmark_group("net_forces");
+    group.sample_size(30);
+    for &n in &[50usize, 200, 800] {
+        let pts = cloud(n, (n as f64).sqrt(), 5);
+        let grid_model = linear_model(n, 3.0);
+        let direct_model = linear_model(n, f64::INFINITY);
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("cutoff_grid", n), &pts, |b, pts| {
+            b.iter(|| grid_model.net_forces(black_box(pts), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs", n), &pts, |b, pts| {
+            b.iter(|| direct_model.net_forces(black_box(pts), &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_force_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_family");
+    group.sample_size(30);
+    let n = 100;
+    let pts = cloud(n, 10.0, 9);
+    let mut out = Vec::new();
+    let linear = linear_model(n, f64::INFINITY);
+    let gaussian = Model::balanced(
+        n,
+        ForceModel::Gaussian(GaussianForce::from_preferred_distance(
+            PairMatrix::constant(1, 3.0),
+            &PairMatrix::constant(1, 2.0),
+        )),
+        f64::INFINITY,
+    );
+    group.bench_function("f1_linear", |b| {
+        b.iter(|| linear.net_forces(black_box(&pts), &mut out))
+    });
+    group.bench_function("f2_gaussian", |b| {
+        b.iter(|| gaussian.net_forces(black_box(&pts), &mut out))
+    });
+    group.finish();
+}
+
+fn bench_substeps_ablation(c: &mut Criterion) {
+    // Ablation for DESIGN.md #2: cost of integrating one recorded step at
+    // different substep counts (accuracy/stability trade-off).
+    let mut group = c.benchmark_group("integrator_substeps");
+    group.sample_size(20);
+    for &substeps in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(substeps),
+            &substeps,
+            |b, &substeps| {
+                let cfg = IntegratorConfig {
+                    dt: 0.05,
+                    substeps,
+                    noise_variance: 0.0025,
+                    max_step: 0.5,
+                    ..IntegratorConfig::default()
+                };
+                b.iter(|| {
+                    let mut sim =
+                        Simulation::with_disc_init(linear_model(50, f64::INFINITY), cfg, 4.0, 3);
+                    for _ in 0..10 {
+                        sim.step();
+                    }
+                    black_box(sim.positions()[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ensemble_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let spec = EnsembleSpec {
+                    model: linear_model(20, f64::INFINITY),
+                    integrator: IntegratorConfig::default(),
+                    init_radius: 3.0,
+                    t_max: 50,
+                    samples: 64,
+                    seed: 12,
+                    criterion: None,
+                };
+                b.iter(|| run_ensemble(black_box(&spec), threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_force_paths,
+    bench_force_families,
+    bench_substeps_ablation,
+    bench_ensemble_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Substrate microbenches: spatial indexes, assignment, clustering,
+//! alignment and the scoped-thread parallel map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sops_bench::{cloud, flat};
+use sops_cluster::{kmeans, KMeansConfig};
+use sops_math::{SplitMix64, Vec2};
+use sops_shape::{hungarian, icp_align, IcpConfig, RigidTransform};
+use sops_spatial::{brute, CellGrid, KdTree};
+use std::hint::black_box;
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree");
+    group.sample_size(30);
+    for &n in &[100usize, 1000] {
+        let pts = flat(&cloud(n, 20.0, 1));
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(2, black_box(pts)))
+        });
+        let tree = KdTree::build(2, &pts);
+        group.bench_with_input(BenchmarkId::new("knn10", n), &tree, |b, tree| {
+            b.iter(|| tree.knn(black_box(&[0.3, -0.7]), 10))
+        });
+        group.bench_with_input(BenchmarkId::new("count_within", n), &tree, |b, tree| {
+            b.iter(|| tree.count_within(black_box(&[0.3, -0.7]), 5.0, true))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_knn10", n), &pts, |b, pts| {
+            b.iter(|| brute::knn(2, black_box(pts), &[0.3, -0.7], 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cellgrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellgrid");
+    group.sample_size(30);
+    for &n in &[100usize, 1000] {
+        let pts = cloud(n, 20.0, 3);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| CellGrid::build(black_box(pts), 2.0))
+        });
+        let grid = CellGrid::build(&pts, 2.0);
+        group.bench_with_input(BenchmarkId::new("pairs_within", n), &grid, |b, grid| {
+            b.iter(|| grid.pairs_within(2.0))
+        });
+        let fpts = flat(&pts);
+        group.bench_with_input(BenchmarkId::new("brute_pairs", n), &fpts, |b, fpts| {
+            b.iter(|| brute::pairs_within(2, black_box(fpts), 2.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.sample_size(30);
+    for &n in &[16usize, 64, 128] {
+        let mut rng = SplitMix64::new(7);
+        let costs: Vec<f64> = (0..n * n).map(|_| rng.next_range(0.0, 100.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &costs, |b, costs| {
+            b.iter(|| hungarian(n, black_box(costs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(30);
+    for &n in &[60usize, 240] {
+        let pts = cloud(n, 10.0, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                kmeans(
+                    black_box(pts),
+                    &KMeansConfig {
+                        k: 4,
+                        ..KMeansConfig::default()
+                    },
+                    5,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_icp_restarts(c: &mut Criterion) {
+    // Ablation: alignment cost of the restart grid (DESIGN.md substitution
+    // for PCL's single-run ICP).
+    let mut group = c.benchmark_group("icp_restarts");
+    group.sample_size(20);
+    let reference = cloud(50, 5.0, 21);
+    let types: Vec<u16> = (0..50).map(|i| (i % 3) as u16).collect();
+    let t = RigidTransform {
+        rotation: 2.3,
+        translation: Vec2::new(4.0, -1.0),
+    };
+    let moving: Vec<Vec2> = reference.iter().map(|&p| t.apply(p)).collect();
+    for &restarts in &[1usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(restarts),
+            &restarts,
+            |b, &restarts| {
+                b.iter(|| {
+                    icp_align(
+                        black_box(&reference),
+                        black_box(&moving),
+                        &types,
+                        &IcpConfig {
+                            restarts,
+                            ..IcpConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_map");
+    group.sample_size(20);
+    // A compute-bound task: per-index trigonometric reduction.
+    let work = |i: usize| -> f64 {
+        let mut acc = 0.0;
+        for j in 0..2_000 {
+            acc += ((i * 31 + j) as f64).sqrt().sin();
+        }
+        acc
+    };
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| sops_par::parallel_map(256, threads, work)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kdtree,
+    bench_cellgrid,
+    bench_hungarian,
+    bench_kmeans,
+    bench_icp_restarts,
+    bench_parallel_map
+);
+criterion_main!(benches);

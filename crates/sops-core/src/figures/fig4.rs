@@ -1,0 +1,156 @@
+//! Figure 4 — multi-information over time for the flagship 3-type
+//! collective, with snapshots of one sample.
+//!
+//! Paper parameters: `n = 50`, `l = 3`, `r_c = 5.0`,
+//! `r = [[2.5, 5, 4], [5, 2.5, 2], [4, 2, 3.5]]`, snapshots at
+//! `t ∈ {0, 10, 20, 50, 249}`; the multi-information rises from ≈2 bits
+//! to ≈10 bits by `t = 250`, correlating with the visible organization.
+//!
+//! The force family is not named in the caption; we use `F¹` with
+//! `k_{αβ} = 1`, which produces the cohesive sorted blob with
+//! membrane-like layers visible in the paper's snapshots (an `F²`
+//! collective cannot cohere — see DESIGN.md #3).
+
+use crate::pipeline::{run_pipeline, MiSeries, Pipeline};
+use crate::report::{self, Series};
+use crate::RunOptions;
+use sops_math::{PairMatrix, Vec2};
+use sops_sim::ensemble::EnsembleSpec;
+use sops_sim::force::{ForceModel, LinearForce};
+use sops_sim::Model;
+
+/// The snapshot steps shown below the paper's Fig. 4 plot.
+pub const SNAPSHOT_TIMES: [usize; 5] = [0, 10, 20, 50, 249];
+
+/// Fig. 4 outputs.
+#[derive(Debug, Clone)]
+pub struct Fig4Data {
+    /// The multi-information time series.
+    pub mi: MiSeries,
+    /// One sample's configurations at [`SNAPSHOT_TIMES`] (clamped to the
+    /// simulated horizon).
+    pub snapshots: Vec<(usize, Vec<Vec2>)>,
+    /// Particle types.
+    pub types: Vec<u16>,
+}
+
+/// The Fig. 4 preferred-distance matrix from the paper.
+pub fn preferred_distances() -> PairMatrix {
+    PairMatrix::from_full(3, &[2.5, 5.0, 4.0, 5.0, 2.5, 2.0, 4.0, 2.0, 3.5])
+}
+
+/// Builds the Fig. 4 pipeline (shared with Figs. 1 and 6).
+pub fn pipeline(opts: &RunOptions) -> Pipeline {
+    let law = ForceModel::Linear(LinearForce::new(
+        PairMatrix::constant(3, 1.0),
+        preferred_distances(),
+    ));
+    let model = Model::balanced(opts.scale(50, 30), law, 5.0);
+    let spec = EnsembleSpec {
+        model,
+        integrator: super::standard_integrator(),
+        init_radius: 5.0,
+        t_max: opts.scale(250, 100),
+        samples: opts.scale(500, 100),
+        seed: opts.seed,
+        criterion: None,
+    };
+    let mut p = Pipeline::new(spec);
+    p.eval_every = opts.scale(10, 20);
+    p.threads = opts.threads;
+    p
+}
+
+/// Runs the Fig. 4 experiment.
+pub fn run(opts: &RunOptions) -> Fig4Data {
+    let p = pipeline(opts);
+    let types = p.ensemble.model.types().to_vec();
+    // One extra single run for the snapshot strip (same seed as ensemble
+    // sample 0 would be, but run locally to keep frames without holding
+    // the whole ensemble here).
+    let mut sim = sops_sim::Simulation::with_disc_init(
+        p.ensemble.model.clone(),
+        p.ensemble.integrator,
+        p.ensemble.init_radius,
+        sops_math::rng::derive_seed(p.ensemble.seed, 0),
+    );
+    let traj = sim.run(p.ensemble.t_max, None);
+    let snapshots: Vec<(usize, Vec<Vec2>)> = SNAPSHOT_TIMES
+        .iter()
+        .map(|&t| {
+            let t = t.min(p.ensemble.t_max);
+            (t, traj.frames[t].clone())
+        })
+        .collect();
+
+    let result = run_pipeline(&p);
+    let data = Fig4Data {
+        mi: result.mi,
+        snapshots,
+        types,
+    };
+    if let Some(path) = super::csv_path(opts, "fig4_mi_series.csv") {
+        let rows: Vec<Vec<f64>> = data
+            .mi
+            .times
+            .iter()
+            .zip(&data.mi.values)
+            .map(|(&t, &v)| vec![t as f64, v])
+            .collect();
+        report::write_csv(&path, &["t", "mi_bits"], &rows).expect("fig4 csv");
+    }
+    data
+}
+
+impl Fig4Data {
+    /// Renders the MI curve and the snapshot strip.
+    pub fn print(&self) {
+        let xs: Vec<f64> = self.mi.times.iter().map(|&t| t as f64).collect();
+        let s = Series::from_xy("I(W1..Wn) [bits]", &xs, &self.mi.values);
+        println!(
+            "{}",
+            report::line_chart("Fig 4 — multi-information vs time (n=50, l=3, rc=5)", &[s], 64, 16)
+        );
+        println!(
+            "  increase ΔI = {:.2} bits over the run (paper: ≈2 → ≈10 bits)",
+            self.mi.increase()
+        );
+        for (t, cfg) in &self.snapshots {
+            println!(
+                "{}",
+                report::scatter_plot(&format!("  sample snapshot t = {t}"), cfg, &self.types, 48, 14)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper() {
+        let r = preferred_distances();
+        assert_eq!(r.get(0, 1), 5.0);
+        assert_eq!(r.get(1, 2), 2.0);
+        assert_eq!(r.get(2, 2), 3.5);
+    }
+
+    #[test]
+    fn fast_run_shows_organization() {
+        let mut opts = RunOptions {
+            fast: true,
+            ..RunOptions::default()
+        };
+        opts.seed = 7;
+        let data = run(&opts);
+        assert_eq!(data.snapshots.len(), SNAPSHOT_TIMES.len());
+        assert!(
+            data.mi.increase() > 1.0,
+            "MI must rise: {:?}",
+            data.mi.values
+        );
+        // Snapshot times clamp to the fast horizon.
+        assert!(data.snapshots.iter().all(|(t, _)| *t <= 100));
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end self-organization measurement (the paper's contribution,
+//! assembled).
+//!
+//! The pipeline chains the substrate crates into the procedure of §5:
+//!
+//! 1. simulate an ensemble of `m` independent runs (`sops-sim`),
+//! 2. per recorded time step, factor out translation, rotation and
+//!    same-type permutation across the ensemble (`sops-shape`),
+//! 3. estimate the multi-information between the reduced observer
+//!    variables (`sops-info`), optionally after the k-means
+//!    coarse-observer approximation (`sops-cluster`),
+//! 4. report the time series `I(W₁⁽ᵗ⁾, …, W_n⁽ᵗ⁾)` whose *increase* is
+//!    the paper's definition of self-organization (§3.1).
+//!
+//! [`figures`] packages one generator per figure of the paper's
+//! evaluation; the `sops-repro` binary drives them and `EXPERIMENTS.md`
+//! records paper-vs-measured outcomes. [`dynamics`] implements the §7.3
+//! future-work proposal: transfer entropy between individual particles.
+
+pub mod dynamics;
+pub mod figures;
+pub mod metrics;
+pub mod observers;
+pub mod pipeline;
+pub mod report;
+
+pub use observers::ObserverMode;
+pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
+
+/// Options shared by every figure generator.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Reduced sample counts / horizons for smoke-level runs (CI and the
+    /// Criterion benches use this; the recorded EXPERIMENTS.md numbers use
+    /// `fast = false`).
+    pub fast: bool,
+    /// Master seed for everything downstream.
+    pub seed: u64,
+    /// Worker threads (0 = default).
+    pub threads: usize,
+    /// Directory for CSV output (`None` = don't write files).
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            fast: false,
+            seed: 0x5005_2012,
+            threads: 0,
+            out_dir: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Picks `full` or `fast` depending on the mode.
+    pub fn scale<T>(&self, full: T, fast: T) -> T {
+        if self.fast {
+            fast
+        } else {
+            full
+        }
+    }
+}

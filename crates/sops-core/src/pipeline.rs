@@ -1,0 +1,302 @@
+//! The measurement pipeline: ensemble → per-time-step reduction →
+//! multi-information series (and optional Eq. 5 decomposition series).
+
+use crate::observers::{build_observers, ObserverMode};
+use sops_info::decomposition::{decompose, Decomposition, Grouping};
+use sops_info::KsgConfig;
+use sops_shape::ensemble::{reduce_configurations, ReduceConfig};
+use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
+
+/// Full experiment specification.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Simulation ensemble.
+    pub ensemble: EnsembleSpec,
+    /// Shape-reduction parameters.
+    pub reduce: ReduceConfig,
+    /// Multi-information estimator.
+    pub estimator: KsgConfig,
+    /// Observer construction.
+    pub observers: ObserverMode,
+    /// Evaluate the estimator at `t = 0, eval_every, 2·eval_every, …` and
+    /// always at the final step.
+    pub eval_every: usize,
+    /// Worker threads for the evaluation stage (0 = default). The outer
+    /// loop parallelizes over time steps; the inner reduction/estimation
+    /// stages run single-threaded to avoid oversubscription.
+    pub threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline with default reduction/estimation settings around an
+    /// ensemble spec.
+    pub fn new(ensemble: EnsembleSpec) -> Self {
+        Pipeline {
+            ensemble,
+            reduce: ReduceConfig::default(),
+            estimator: KsgConfig::default(),
+            observers: ObserverMode::PerParticle,
+            eval_every: 10,
+            threads: 0,
+        }
+    }
+
+    /// The time steps the estimator will be evaluated at.
+    pub fn eval_times(&self) -> Vec<usize> {
+        let t_max = self.ensemble.t_max;
+        let every = self.eval_every.max(1);
+        let mut times: Vec<usize> = (0..=t_max).step_by(every).collect();
+        if *times.last().unwrap() != t_max {
+            times.push(t_max);
+        }
+        times
+    }
+}
+
+/// A time-indexed series of estimates.
+#[derive(Debug, Clone)]
+pub struct MiSeries {
+    /// Recorded time steps.
+    pub times: Vec<usize>,
+    /// Multi-information estimates (bits) at those steps.
+    pub values: Vec<f64>,
+}
+
+impl MiSeries {
+    /// `I(t_last) − I(t_first)` — the self-organization increase the
+    /// paper's Fig. 8 reports as ΔI.
+    pub fn increase(&self) -> f64 {
+        match (self.values.first(), self.values.last()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Ordinary-least-squares slope of the series in bits per step — a
+    /// robust "is it organizing" statistic used by tests.
+    pub fn slope(&self) -> f64 {
+        let xs: Vec<f64> = self.times.iter().map(|&t| t as f64).collect();
+        sops_math::stats::ols_slope(&xs, &self.values)
+    }
+
+    /// Largest value of the series.
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Output of [`run_pipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The multi-information time series.
+    pub mi: MiSeries,
+    /// Mean ICP alignment cost at each evaluated step (diagnostic).
+    pub mean_icp_cost: Vec<f64>,
+    /// Fraction of runs that met the equilibrium criterion (if one was
+    /// configured on the ensemble).
+    pub equilibrated_fraction: f64,
+}
+
+/// Simulates the ensemble and evaluates the multi-information series.
+pub fn run_pipeline(p: &Pipeline) -> PipelineResult {
+    let ensemble = run_ensemble(&p.ensemble, p.threads);
+    evaluate_ensemble(&ensemble, p)
+}
+
+/// Evaluates the multi-information series on an already-simulated
+/// ensemble (lets callers reuse one ensemble across analyses, e.g. Figs. 4
+/// and 6 share theirs).
+pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
+    let types = p.ensemble.model.types().to_vec();
+    let type_count = p.ensemble.model.type_count();
+    let times = p.eval_times();
+    let threads = if p.threads == 0 {
+        sops_par::default_threads()
+    } else {
+        p.threads
+    };
+
+    // Outer parallelism over evaluation steps; inner stages sequential.
+    let inner_reduce = ReduceConfig {
+        threads: 1,
+        ..p.reduce
+    };
+    let inner_est = KsgConfig {
+        threads: 1,
+        ..p.estimator
+    };
+    let per_step: Vec<(f64, f64)> = sops_par::parallel_map(times.len(), threads, |ti| {
+        let t = times[ti];
+        let slice = ensemble.at_time(t);
+        let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+        let mean_cost = if reduced.icp_costs.is_empty() {
+            0.0
+        } else {
+            reduced.icp_costs.iter().sum::<f64>() / reduced.icp_costs.len() as f64
+        };
+        let observers = build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
+        let mi = sops_info::multi_information(&observers.view(), &inner_est);
+        (mi, mean_cost)
+    });
+
+    let values: Vec<f64> = per_step.iter().map(|&(mi, _)| mi).collect();
+    let mean_icp_cost: Vec<f64> = per_step.iter().map(|&(_, c)| c).collect();
+    PipelineResult {
+        mi: MiSeries { times, values },
+        mean_icp_cost,
+        equilibrated_fraction: ensemble.equilibrated_fraction(),
+    }
+}
+
+/// A decomposition (Eq. 5) evaluated along the time axis, grouping
+/// observers by particle type — the data behind Fig. 11.
+#[derive(Debug, Clone)]
+pub struct DecompositionSeries {
+    /// Evaluated time steps.
+    pub times: Vec<usize>,
+    /// Per-step decompositions (between-types term + within-type terms).
+    pub terms: Vec<Decomposition>,
+}
+
+impl DecompositionSeries {
+    /// Normalized contributions per step (Fig. 11's y-axis):
+    /// `(between, within_1, …, within_l) / reconstructed total`. Steps
+    /// whose total is below `floor` yield `None`.
+    pub fn normalized(&self, floor: f64) -> Vec<Option<Vec<f64>>> {
+        self.terms.iter().map(|d| d.normalized(floor)).collect()
+    }
+}
+
+/// Runs the pipeline's reduction and evaluates the type-grouped
+/// decomposition at each evaluation step.
+pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionSeries {
+    let types = p.ensemble.model.types().to_vec();
+    let type_count = p.ensemble.model.type_count();
+    let times = p.eval_times();
+    let threads = if p.threads == 0 {
+        sops_par::default_threads()
+    } else {
+        p.threads
+    };
+    let inner_reduce = ReduceConfig {
+        threads: 1,
+        ..p.reduce
+    };
+    let inner_est = KsgConfig {
+        threads: 1,
+        ..p.estimator
+    };
+    let terms: Vec<Decomposition> = sops_par::parallel_map(times.len(), threads, |ti| {
+        let t = times[ti];
+        let slice = ensemble.at_time(t);
+        let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+        let observers = build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
+        let grouping = Grouping::from_labels(&observers.block_types);
+        decompose(&observers.view(), &grouping, &inner_est)
+    });
+    DecompositionSeries { times, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_math::PairMatrix;
+    use sops_sim::force::{ForceModel, LinearForce};
+    use sops_sim::{IntegratorConfig, Model};
+
+    /// A small 2-type attracting system that visibly organizes.
+    fn small_spec(samples: usize, t_max: usize) -> EnsembleSpec {
+        let k = PairMatrix::constant(2, 1.0);
+        let mut r = PairMatrix::constant(2, 1.0);
+        r.set(0, 1, 2.0); // cross-type preferred distance larger: sorting
+        EnsembleSpec {
+            model: Model::balanced(8, ForceModel::Linear(LinearForce::new(k, r)), f64::INFINITY),
+            integrator: IntegratorConfig::default(),
+            init_radius: 2.0,
+            t_max,
+            samples,
+            seed: 99,
+            criterion: None,
+        }
+    }
+
+    fn small_pipeline() -> Pipeline {
+        let mut p = Pipeline::new(small_spec(60, 30));
+        p.eval_every = 15;
+        p.estimator.k = 3;
+        p
+    }
+
+    #[test]
+    fn eval_times_cover_endpoints() {
+        let p = small_pipeline();
+        let times = p.eval_times();
+        assert_eq!(times.first(), Some(&0));
+        assert_eq!(times.last(), Some(&30));
+        // Non-divisible horizon still ends exactly at t_max.
+        let mut p2 = small_pipeline();
+        p2.ensemble.t_max = 31;
+        assert_eq!(*p2.eval_times().last().unwrap(), 31);
+    }
+
+    #[test]
+    fn organizing_system_shows_mi_increase() {
+        let result = run_pipeline(&small_pipeline());
+        assert_eq!(result.mi.times.len(), result.mi.values.len());
+        assert!(
+            result.mi.increase() > 0.5,
+            "attracting collective should organize: {:?}",
+            result.mi.values
+        );
+        assert!(result.mi.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = MiSeries {
+            times: vec![0, 10, 20],
+            values: vec![1.0, 2.0, 4.0],
+        };
+        assert_eq!(s.increase(), 3.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(s.slope() > 0.0);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_series() {
+        let mut p = small_pipeline();
+        p.ensemble.samples = 40;
+        p.threads = 1;
+        let a = run_pipeline(&p);
+        p.threads = 4;
+        let b = run_pipeline(&p);
+        for (x, y) in a.mi.values.iter().zip(&b.mi.values) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn decomposition_series_shape_and_identity() {
+        let p = small_pipeline();
+        let ensemble = run_ensemble(&p.ensemble, 0);
+        let d = decomposition_series(&ensemble, &p);
+        assert_eq!(d.times.len(), d.terms.len());
+        for term in &d.terms {
+            assert_eq!(term.within.len(), 2, "one within-term per type");
+            assert!(term.total.is_finite());
+        }
+        // Normalized entries sum to 1 where defined.
+        for norm in d.normalized(1e-3).into_iter().flatten() {
+            let sum: f64 = norm.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn type_means_observer_path_runs() {
+        let mut p = small_pipeline();
+        p.observers = ObserverMode::TypeMeans { k_per_type: 2 };
+        let result = run_pipeline(&p);
+        assert!(result.mi.values.iter().all(|v| v.is_finite()));
+    }
+}

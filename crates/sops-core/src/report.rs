@@ -1,0 +1,245 @@
+//! Plain-text reporting: CSV writing, ASCII line charts and scatter
+//! plots.
+//!
+//! The reproduction harness renders every figure both as a CSV (for
+//! external plotting) and as a terminal chart, so `cargo run -p
+//! sops-repro` is self-contained. Deliberately dependency-free (serde
+//! alone, without a format crate, buys nothing offline — see DESIGN.md).
+
+use sops_math::Vec2;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a CSV file with the given header and float rows.
+///
+/// Creates parent directories as needed. Numbers are written with enough
+/// precision to round-trip (`{:.12e}` would be unreadable; `{:.9}` is
+/// plenty for plotting).
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        let mut line = String::with_capacity(row.len() * 16);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            if v.is_nan() {
+                line.push_str("nan");
+            } else {
+                let _ = write!(line, "{v:.9}");
+            }
+        }
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// A named data series for [`line_chart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, assumed sorted by x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from parallel x/y slices.
+    pub fn from_xy(label: impl Into<String>, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "Series: x/y length mismatch");
+        Series {
+            label: label.into(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'];
+
+/// Renders an ASCII line chart of the series onto a `width × height`
+/// character canvas with axis annotations.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let finite = |v: f64| v.is_finite();
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            if finite(x) && finite(y) {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+    }
+    if !x_min.is_finite() {
+        return format!("{title}\n  (no finite data)\n");
+    }
+    if (x_max - x_min).abs() < 1e-300 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-300 {
+        y_max = y_min + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !finite(x) || !finite(y) {
+                continue;
+            }
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{y_max:>10.3} ┤{}", String::from_iter(&canvas[0]));
+    for row in canvas.iter().take(height - 1).skip(1) {
+        let _ = writeln!(out, "{:>10} │{}", "", String::from_iter(row));
+    }
+    let _ = writeln!(
+        out,
+        "{y_min:>10.3} ┤{}",
+        String::from_iter(&canvas[height - 1])
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} └{}",
+        "",
+        "─".repeat(width)
+    );
+    let _ = writeln!(out, "{:>11}{x_min:<12.2}{:>width$.2}", "", x_max, width = width.saturating_sub(12));
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "    {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+/// Renders a typed particle configuration as an ASCII scatter plot; each
+/// particle is drawn as its type digit (types ≥ 10 wrap).
+pub fn scatter_plot(
+    title: &str,
+    points: &[Vec2],
+    types: &[u16],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(points.len(), types.len());
+    let width = width.max(8);
+    let height = height.max(4);
+    let mut lo = Vec2::new(f64::INFINITY, f64::INFINITY);
+    let mut hi = Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        lo = lo.min(*p);
+        hi = hi.max(*p);
+    }
+    if points.is_empty() || !lo.is_finite() {
+        return format!("{title}\n  (no data)\n");
+    }
+    let span_x = (hi.x - lo.x).max(1e-9);
+    let span_y = (hi.y - lo.y).max(1e-9);
+    let mut canvas = vec![vec![' '; width]; height];
+    for (p, &t) in points.iter().zip(types) {
+        let cx = ((p.x - lo.x) / span_x * (width - 1) as f64).round() as usize;
+        let cy = ((p.y - lo.y) / span_y * (height - 1) as f64).round() as usize;
+        canvas[height - 1 - cy][cx.min(width - 1)] =
+            char::from_digit((t % 10) as u32, 10).unwrap();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for row in &canvas {
+        let _ = writeln!(out, "  {}", String::from_iter(row));
+    }
+    out
+}
+
+/// Formats a simple aligned two-column table (label, value).
+pub fn kv_table(rows: &[(String, String)]) -> String {
+    let w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in rows {
+        let _ = writeln!(out, "  {k:<w$}  {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("sops_report_test");
+        let path = dir.join("series.csv");
+        write_csv(
+            &path,
+            &["t", "mi"],
+            &[vec![0.0, 1.5], vec![10.0, f64::NAN]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("t,mi"));
+        assert!(lines.next().unwrap().starts_with("0.000000000,1.5"));
+        assert!(lines.next().unwrap().ends_with("nan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn line_chart_renders_monotone_series() {
+        let s = Series::from_xy("mi", &[0.0, 1.0, 2.0, 3.0], &[0.0, 1.0, 2.0, 3.0]);
+        let chart = line_chart("test", &[s], 40, 10);
+        assert!(chart.contains("test"));
+        assert!(chart.contains('*'));
+        // Rising series: glyph in the top row (after the title line).
+        let top_row = chart.lines().nth(1).unwrap();
+        assert!(top_row.contains('*'), "top row: {top_row}");
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_constant() {
+        let empty = line_chart("e", &[Series::from_xy("x", &[], &[])], 30, 8);
+        assert!(empty.contains("no finite data"));
+        let flat = Series::from_xy("f", &[0.0, 1.0], &[2.0, 2.0]);
+        let chart = line_chart("flat", &[flat], 30, 8);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn scatter_draws_type_digits() {
+        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)];
+        let types = [0u16, 3];
+        let plot = scatter_plot("cfg", &pts, &types, 20, 8);
+        assert!(plot.contains('0'));
+        assert!(plot.contains('3'));
+    }
+
+    #[test]
+    fn kv_table_aligns() {
+        let t = kv_table(&[
+            ("short".into(), "1".into()),
+            ("much longer key".into(), "2".into()),
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let c1 = lines[0].rfind('1').unwrap();
+        let c2 = lines[1].rfind('2').unwrap();
+        assert_eq!(c1, c2, "values aligned");
+    }
+}

@@ -1,0 +1,323 @@
+//! Conditional mutual information and transfer entropy (paper §7.3).
+//!
+//! The paper's future-work section proposes investigating "the
+//! information dynamics between individual particles over time" with the
+//! tools of Lizier et al. (the paper's ref. 24) — transfer entropy. It provides
+//! the required estimator: the Frenzel–Pompe k-NN conditional mutual
+//! information
+//!
+//! ```text
+//! I(X;Y|Z) = ψ(k) + ⟨ψ(c_z + 1) − ψ(c_xz + 1) − ψ(c_yz + 1)⟩
+//! ```
+//!
+//! where the counts are strict range counts in the marginal spaces
+//! `(Z)`, `(X,Z)` and `(Y,Z)` using the max-norm radius to the k-th
+//! neighbour in the joint `(X,Y,Z)` space. Transfer entropy is the
+//! special case `T_{Y→X} = I(X′ ; Y | X)` with `X′` the successor state
+//! of `X`.
+//!
+//! Note §5.2's caveat: statistics that track particles over time must use
+//! the *raw* (non-permutation-reduced) trajectories; the shape reduction
+//! deliberately destroys temporal identity.
+
+use sops_math::special::digamma;
+use sops_math::NATS_TO_BITS;
+use sops_spatial::block_max::{knn_block_max, BlockPoints};
+use sops_spatial::KdTree;
+
+/// Configuration for [`conditional_mutual_information`].
+#[derive(Debug, Clone, Copy)]
+pub struct CmiConfig {
+    /// Neighbour order `k` (default 4, like the KSG default).
+    pub k: usize,
+    /// Worker threads (0 = default).
+    pub threads: usize,
+}
+
+impl Default for CmiConfig {
+    fn default() -> Self {
+        CmiConfig { k: 4, threads: 0 }
+    }
+}
+
+/// Estimates `I(X;Y|Z)` in bits from `rows` joint samples.
+///
+/// `x`, `y`, `z` are row-major `rows × dim` matrices.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes, `k = 0`, or `k >= rows`.
+pub fn conditional_mutual_information(
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    rows: usize,
+    dims: (usize, usize, usize),
+    cfg: &CmiConfig,
+) -> f64 {
+    let (dx, dy, dz) = dims;
+    assert_eq!(x.len(), rows * dx, "CMI: x shape");
+    assert_eq!(y.len(), rows * dy, "CMI: y shape");
+    assert_eq!(z.len(), rows * dz, "CMI: z shape");
+    assert!(cfg.k >= 1 && cfg.k < rows, "CMI: k out of range");
+
+    // Joint (x, y, z) samples as three blocks: the block-max metric over
+    // (x|y|z) blocks is the product max-norm the Frenzel-Pompe estimator
+    // uses.
+    let mut joint = Vec::with_capacity(rows * (dx + dy + dz));
+    for r in 0..rows {
+        joint.extend_from_slice(&x[r * dx..(r + 1) * dx]);
+        joint.extend_from_slice(&y[r * dy..(r + 1) * dy]);
+        joint.extend_from_slice(&z[r * dz..(r + 1) * dz]);
+    }
+    let sizes = [dx, dy, dz];
+    let points = BlockPoints::new(&joint, rows, &sizes);
+
+    // Counts in the marginal spaces (Z), (X,Z) and (Y,Z) under the
+    // product max-norm: a point is within eps of the query in (X,Z) iff
+    // it is within eps in X AND within eps in Z. A kd-tree over Z yields
+    // the candidate superset; the conjunctions are checked by direct
+    // per-block distance tests (exact, and cheap at ensemble sizes).
+    let tree_z = KdTree::build(dz, z);
+
+    let threads = if cfg.threads == 0 {
+        sops_par::default_threads()
+    } else {
+        cfg.threads
+    };
+    let psi_sum = sops_par::parallel_reduce(
+        rows,
+        threads,
+        || 0.0f64,
+        |acc, i| {
+            let neighbours = knn_block_max(&points, i, cfg.k);
+            let eps = neighbours.last().expect("CMI: kth neighbour").1;
+            // Candidates within eps in Z (strict) — superset of both
+            // conjunctive counts.
+            let zq = &z[i * dz..(i + 1) * dz];
+            let z_candidates = tree_z.range_indices(zq, eps);
+            let mut c_z = 0usize;
+            let mut c_xz = 0usize;
+            let mut c_yz = 0usize;
+            let xq = &x[i * dx..(i + 1) * dx];
+            let yq = &y[i * dy..(i + 1) * dy];
+            for &j in &z_candidates {
+                if j == i {
+                    continue;
+                }
+                let zd = sops_spatial::dist_sq(&z[j * dz..(j + 1) * dz], zq).sqrt();
+                if zd >= eps {
+                    continue; // strict
+                }
+                c_z += 1;
+                let xd = sops_spatial::dist_sq(&x[j * dx..(j + 1) * dx], xq).sqrt();
+                if xd < eps {
+                    c_xz += 1;
+                }
+                let yd = sops_spatial::dist_sq(&y[j * dy..(j + 1) * dy], yq).sqrt();
+                if yd < eps {
+                    c_yz += 1;
+                }
+            }
+            acc + digamma((c_z + 1) as f64)
+                - digamma((c_xz + 1) as f64)
+                - digamma((c_yz + 1) as f64)
+        },
+        |a, b| a + b,
+    );
+    let nats = digamma(cfg.k as f64) + psi_sum / rows as f64;
+    nats * NATS_TO_BITS
+}
+
+/// Transfer entropy `T_{Y→X} = I(X′ ; Y | X)` in bits across an ensemble:
+/// `x_next`, `y_past`, `x_past` are `rows × dim` matrices of the successor
+/// state of X, the past of Y and the past of X over independent
+/// realizations.
+pub fn transfer_entropy(
+    x_next: &[f64],
+    y_past: &[f64],
+    x_past: &[f64],
+    rows: usize,
+    dims: (usize, usize, usize),
+    cfg: &CmiConfig,
+) -> f64 {
+    conditional_mutual_information(x_next, y_past, x_past, rows, dims, cfg)
+}
+
+/// Analytic conditional mutual information of a Gaussian (bits):
+/// `I(X;Y|Z) = ½(ln det Σ_xz + ln det Σ_yz − ln det Σ_z − ln det Σ_xyz)`.
+///
+/// `cov` must be ordered as (X-dims, Y-dims, Z-dims). Test/validation
+/// helper.
+pub fn gaussian_conditional_mi(
+    cov: &sops_math::Matrix,
+    dims: (usize, usize, usize),
+) -> f64 {
+    let (dx, dy, dz) = dims;
+    let d = dx + dy + dz;
+    assert_eq!(cov.rows(), d);
+    let sub = |idx: &[usize]| -> sops_math::Matrix {
+        let mut m = sops_math::Matrix::zeros(idx.len(), idx.len());
+        for (a, &i) in idx.iter().enumerate() {
+            for (b, &j) in idx.iter().enumerate() {
+                m[(a, b)] = cov[(i, j)];
+            }
+        }
+        m
+    };
+    let xs: Vec<usize> = (0..dx).collect();
+    let ys: Vec<usize> = (dx..dx + dy).collect();
+    let zs: Vec<usize> = (dx + dy..d).collect();
+    let xz: Vec<usize> = xs.iter().chain(&zs).copied().collect();
+    let yz: Vec<usize> = ys.iter().chain(&zs).copied().collect();
+    let all: Vec<usize> = (0..d).collect();
+    let ld = |idx: &[usize]| sub(idx).ln_det_spd().expect("gaussian_conditional_mi: not SPD");
+    let nats = 0.5 * (ld(&xz) + ld(&yz) - ld(&zs) - ld(&all));
+    nats * NATS_TO_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_math::{Matrix, SplitMix64};
+
+    /// Draws AR-style triples: Z ~ N(0,1); X = a·Z + noise; Y = b·Z + noise.
+    /// X ⊥ Y | Z by construction, but I(X;Y) > 0.
+    fn common_cause_samples(m: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut x = Vec::with_capacity(m);
+        let mut y = Vec::with_capacity(m);
+        let mut z = Vec::with_capacity(m);
+        for _ in 0..m {
+            let zi = rng.next_standard_normal();
+            x.push(0.8 * zi + 0.4 * rng.next_standard_normal());
+            y.push(0.8 * zi + 0.4 * rng.next_standard_normal());
+            z.push(zi);
+        }
+        (x, y, z)
+    }
+
+    #[test]
+    fn cmi_vanishes_for_conditionally_independent_data() {
+        let (x, y, z) = common_cause_samples(1200, 3);
+        let cmi = conditional_mutual_information(&x, &y, &z, 1200, (1, 1, 1), &CmiConfig::default());
+        assert!(cmi.abs() < 0.1, "X⊥Y|Z must give ~0, got {cmi}");
+        // Whereas the unconditional MI is clearly positive.
+        let mi = crate::ksg::mutual_information(&x, &y, 1200, 1, 1, &crate::KsgConfig::default());
+        assert!(mi > 0.3, "common cause must correlate X and Y: {mi}");
+    }
+
+    #[test]
+    fn cmi_matches_gaussian_closed_form() {
+        // X, Y directly coupled beyond Z: X = 0.6 Z + e1, Y = 0.6 Z + 0.8 X + e2.
+        let m = 1500;
+        let mut rng = SplitMix64::new(9);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        for _ in 0..m {
+            let zi = rng.next_standard_normal();
+            let xi = 0.6 * zi + 0.5 * rng.next_standard_normal();
+            let yi = 0.6 * zi + 0.8 * xi + 0.4 * rng.next_standard_normal();
+            x.push(xi);
+            y.push(yi);
+            z.push(zi);
+        }
+        // Empirical covariance in (X, Y, Z) order feeds the closed form.
+        let rows: Vec<Vec<f64>> = (0..m).map(|i| vec![x[i], y[i], z[i]]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let cov = Matrix::covariance_of(&refs);
+        let truth = gaussian_conditional_mi(&cov, (1, 1, 1));
+        let est = conditional_mutual_information(&x, &y, &z, m, (1, 1, 1), &CmiConfig::default());
+        assert!(
+            (est - truth).abs() < 0.12,
+            "CMI est {est} vs Gaussian truth {truth}"
+        );
+        assert!(truth > 0.2, "construction has real conditional coupling");
+    }
+
+    #[test]
+    fn transfer_entropy_detects_directed_coupling() {
+        // Driven pair: X' = 0.4 X + 0.8 Y + noise; Y' = 0.9 Y + noise.
+        // TE(Y→X) > 0; TE(X→Y) ≈ 0.
+        let m = 1500;
+        let mut rng = SplitMix64::new(17);
+        let mut x_past = Vec::new();
+        let mut y_past = Vec::new();
+        let mut x_next = Vec::new();
+        let mut y_next = Vec::new();
+        for _ in 0..m {
+            // Stationary-ish draws: sample a fresh (x, y) state then step it.
+            let xp = rng.next_standard_normal();
+            let yp = rng.next_standard_normal();
+            x_past.push(xp);
+            y_past.push(yp);
+            x_next.push(0.4 * xp + 0.8 * yp + 0.3 * rng.next_standard_normal());
+            y_next.push(0.9 * yp + 0.3 * rng.next_standard_normal());
+        }
+        let cfg = CmiConfig::default();
+        let te_yx = transfer_entropy(&x_next, &y_past, &x_past, m, (1, 1, 1), &cfg);
+        let te_xy = transfer_entropy(&y_next, &x_past, &y_past, m, (1, 1, 1), &cfg);
+        assert!(te_yx > 0.5, "driver must be detected: TE(Y→X) = {te_yx}");
+        assert!(te_xy.abs() < 0.1, "no reverse flow: TE(X→Y) = {te_xy}");
+    }
+
+    #[test]
+    fn cmi_deterministic_across_threads() {
+        let (x, y, z) = common_cause_samples(400, 5);
+        let a = conditional_mutual_information(
+            &x,
+            &y,
+            &z,
+            400,
+            (1, 1, 1),
+            &CmiConfig { k: 4, threads: 1 },
+        );
+        let b = conditional_mutual_information(
+            &x,
+            &y,
+            &z,
+            400,
+            (1, 1, 1),
+            &CmiConfig { k: 4, threads: 8 },
+        );
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_valued_blocks_supported() {
+        // 2-D X and Y blocks (particle positions), 2-D Z.
+        let m = 600;
+        let mut rng = SplitMix64::new(23);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        for _ in 0..m {
+            let z0 = rng.next_standard_normal();
+            let z1 = rng.next_standard_normal();
+            z.extend_from_slice(&[z0, z1]);
+            x.extend_from_slice(&[
+                0.7 * z0 + 0.5 * rng.next_standard_normal(),
+                0.7 * z1 + 0.5 * rng.next_standard_normal(),
+            ]);
+            y.extend_from_slice(&[
+                0.7 * z0 + 0.5 * rng.next_standard_normal(),
+                0.7 * z1 + 0.5 * rng.next_standard_normal(),
+            ]);
+        }
+        let cmi =
+            conditional_mutual_information(&x, &y, &z, m, (2, 2, 2), &CmiConfig::default());
+        assert!(cmi.abs() < 0.15, "conditionally independent 2-D blocks: {cmi}");
+    }
+
+    #[test]
+    fn gaussian_closed_form_reduces_to_mi_for_empty_condition_analogue() {
+        // With Z independent of (X, Y), I(X;Y|Z) == I(X;Y).
+        let mut cov = Matrix::identity(3);
+        cov[(0, 1)] = 0.6;
+        cov[(1, 0)] = 0.6;
+        let cmi = gaussian_conditional_mi(&cov, (1, 1, 1));
+        let mi = crate::gaussian::bivariate_gaussian_mi(0.6);
+        assert!((cmi - mi).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Numeric substrate for the `sops` workspace.
+//!
+//! This crate collects the small, dependency-free numerical building blocks
+//! shared by the simulator, the shape-reduction pipeline and the
+//! information-theoretic estimators:
+//!
+//! * [`Vec2`] — a plain 2-D double-precision vector with the usual algebra.
+//! * [`special`] — digamma / log-gamma, needed by the
+//!   Kraskov–Stögbauer–Grassberger estimator (paper Eq. 18).
+//! * [`stats`] — Welford running statistics, slice summaries, quantiles.
+//! * [`matrix`] — a small dense matrix with Cholesky / LU factorizations,
+//!   used for analytic Gaussian multi-information in tests and for the KDE
+//!   baseline estimator.
+//! * [`pairmat`] — symmetric per-type-pair parameter matrices
+//!   (`k_{αβ}`, `r_{αβ}`, `τ_{αβ}` of paper §4.1).
+//! * [`rng`] — SplitMix64 seed derivation so that ensembles are
+//!   bit-reproducible regardless of thread schedule.
+//!
+//! Everything here is deterministic and allocation-conscious; the heavy
+//! lifting (simulation, estimation) lives in the crates layered on top.
+
+pub mod matrix;
+pub mod pairmat;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod vec2;
+
+pub use matrix::Matrix;
+pub use pairmat::PairMatrix;
+pub use rng::SplitMix64;
+pub use vec2::Vec2;
+
+/// Natural-log to log-base-2 conversion factor (`1 / ln 2`).
+///
+/// The paper reports all information quantities in bits; the estimators
+/// compute in nats internally.
+pub const NATS_TO_BITS: f64 = std::f64::consts::LOG2_E;
+
+/// The Euler–Mascheroni constant γ.
+///
+/// `ψ(1) = −γ`; used by tests of [`special::digamma`] and by closed-form
+/// entropy expressions.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;

@@ -1,0 +1,192 @@
+//! Special functions: digamma and log-gamma.
+//!
+//! The Kraskov–Stögbauer–Grassberger estimator (paper Eq. 18) is a sum of
+//! digamma terms `ψ(k) + (n−1)ψ(m) − ⟨Σᵢ ψ(cᵢ)⟩`. `ln Γ` is used by the
+//! KDE baseline (volume of d-balls) and by tests.
+
+/// Digamma function `ψ(x) = d/dx ln Γ(x)` for `x > 0`.
+///
+/// Uses the standard recurrence `ψ(x) = ψ(x+1) − 1/x` to shift the argument
+/// above 6, then an asymptotic (Bernoulli) series. Absolute error is below
+/// `1e-12` over the domain exercised by the estimators (integer and
+/// half-integer arguments ≥ 1).
+///
+/// # Panics
+///
+/// Panics in debug builds if `x <= 0`; the estimators never evaluate ψ at
+/// non-positive arguments (counts are ≥ 1 by construction).
+pub fn digamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma: argument must be positive, got {x}");
+    let mut x = x;
+    let mut result = 0.0;
+    // Recurrence: psi(x) = psi(x + 1) - 1/x, applied until x >= 10, where
+    // the truncated Bernoulli series below is accurate to ~2e-14.
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic series: psi(x) ~ ln x - 1/(2x) - sum B_{2n}/(2n x^{2n}).
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result += x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2
+                    * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+    result
+}
+
+/// Natural log of the Gamma function via the Lanczos approximation (g = 7,
+/// n = 9 coefficients), valid for `x > 0`.
+///
+/// Relative error is below `1e-13` for the arguments used in this workspace
+/// (ball-volume constants and factorials).
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "ln_gamma: argument must be positive, got {x}");
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small arguments.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Volume of the unit ball in `d` dimensions under the L2 norm:
+/// `π^{d/2} / Γ(d/2 + 1)`.
+///
+/// Needed by k-NN differential-entropy estimators (Kozachenko–Leonenko term
+/// of the KSG family) and by the KDE baseline.
+pub fn unit_ball_volume_l2(d: usize) -> f64 {
+    let d = d as f64;
+    (0.5 * d * std::f64::consts::PI.ln() - ln_gamma(0.5 * d + 1.0)).exp()
+}
+
+/// Volume of the unit ball in `d` dimensions under the max (L∞) norm: `2^d`.
+pub fn unit_ball_volume_max(d: usize) -> f64 {
+    (d as f64).exp2()
+}
+
+/// `n`-th harmonic number `H_n = Σ_{i=1}^{n} 1/i`, with `H_0 = 0`.
+///
+/// `ψ(n) = H_{n−1} − γ` for integer `n ≥ 1`; tests use this identity to
+/// validate [`digamma`].
+pub fn harmonic(n: usize) -> f64 {
+    // Direct summation keeps full accuracy for the small n used in tests;
+    // large n callers should prefer digamma(n + 1) + EULER_GAMMA.
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EULER_GAMMA;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn digamma_at_one_is_minus_gamma() {
+        assert!(close(digamma(1.0), -EULER_GAMMA, 1e-12));
+    }
+
+    #[test]
+    fn digamma_at_half() {
+        // psi(1/2) = -gamma - 2 ln 2
+        let expected = -EULER_GAMMA - 2.0 * std::f64::consts::LN_2;
+        assert!(close(digamma(0.5), expected, 1e-12));
+    }
+
+    #[test]
+    fn digamma_matches_harmonic_numbers() {
+        for n in 1..50usize {
+            let expected = harmonic(n - 1) - EULER_GAMMA;
+            assert!(
+                close(digamma(n as f64), expected, 1e-11),
+                "psi({n}) = {} vs {}",
+                digamma(n as f64),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Gamma(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15usize {
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-12),
+                "lgamma({n})"
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_at_half_is_log_sqrt_pi() {
+        assert!(close(
+            ln_gamma(0.5),
+            0.5 * std::f64::consts::PI.ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn ball_volumes_low_dims() {
+        assert!(close(unit_ball_volume_l2(1), 2.0, 1e-12)); // interval [-1, 1]
+        assert!(close(unit_ball_volume_l2(2), std::f64::consts::PI, 1e-12));
+        assert!(close(
+            unit_ball_volume_l2(3),
+            4.0 / 3.0 * std::f64::consts::PI,
+            1e-12
+        ));
+        assert_eq!(unit_ball_volume_max(3), 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn digamma_recurrence(x in 0.01..50.0f64) {
+            // psi(x + 1) = psi(x) + 1/x
+            prop_assert!(close(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10));
+        }
+
+        #[test]
+        fn digamma_monotone_on_positives(x in 0.1..50.0f64, dx in 0.01..5.0f64) {
+            prop_assert!(digamma(x + dx) > digamma(x));
+        }
+
+        #[test]
+        fn ln_gamma_recurrence(x in 0.1..30.0f64) {
+            // Gamma(x + 1) = x Gamma(x)
+            prop_assert!(close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-10));
+        }
+
+        #[test]
+        fn ln_gamma_convex_combination(x in 1.0..20.0f64, y in 1.0..20.0f64) {
+            // log-convexity of Gamma (Bohr–Mollerup): lgamma midpoint below average.
+            let mid = ln_gamma(0.5 * (x + y));
+            prop_assert!(mid <= 0.5 * (ln_gamma(x) + ln_gamma(y)) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Streaming and slice statistics.
+//!
+//! Used throughout the workspace: equilibrium detection averages force
+//! norms, the experiment harness averages multi-information curves over
+//! random type-matrix draws (paper Figs. 8–10), and tests compare empirical
+//! moments against analytic values.
+
+/// Welford online mean/variance accumulator.
+///
+/// Numerically stable single-pass computation of mean and (sample)
+/// variance; merging two accumulators is supported so that per-thread
+/// partial statistics can be combined.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `NaN` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`); `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Arithmetic mean of a slice; `NaN` when empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance of a slice; `NaN` with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<RunningStats>().variance()
+}
+
+/// Unbiased sample covariance between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (xs[i] - mx) * (ys[i] - my);
+    }
+    acc / (n - 1) as f64
+}
+
+/// Pearson correlation coefficient; `NaN` if either variance vanishes.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let c = covariance(xs, ys);
+    let sx = variance(xs).sqrt();
+    let sy = variance(ys).sqrt();
+    c / (sx * sy)
+}
+
+/// Empirical `q`-quantile (linear interpolation between order statistics).
+///
+/// `q` is clamped to `[0, 1]`. Returns `NaN` for an empty slice. The input
+/// need not be sorted.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Coefficient of variation `σ/μ` of a slice.
+///
+/// Used as the grid-regularity metric for Fig. 3: a perfectly regular
+/// particle grid has near-zero CV of nearest-neighbour distances.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    variance(xs).sqrt() / mean(xs)
+}
+
+/// Ordinary least squares slope of `y` against `x`.
+///
+/// Used by tests and experiment summaries to assert that a
+/// multi-information time series is increasing (self-organization) or flat.
+pub fn ols_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    covariance(xs, ys) / variance(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn running_stats_small_case() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!(close(s.mean(), 5.0, 1e-12));
+        assert!(close(s.population_variance(), 4.0, 1e-12));
+        assert!(close(s.variance(), 32.0 / 7.0, 1e-12));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        let all: RunningStats = xs.iter().copied().collect();
+        assert_eq!(a.count(), all.count());
+        assert!(close(a.mean(), all.mean(), 1e-12));
+        assert!(close(a.variance(), all.variance(), 1e-12));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 3);
+        assert!(close(e.mean(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn covariance_and_correlation_of_linear_data() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!(close(correlation(&xs, &ys), 1.0, 1e-12));
+        assert!(close(ols_slope(&xs, &ys), 3.0, 1e-12));
+        let neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!(close(correlation(&xs, &neg), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn quantiles_of_known_slice() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!(close(quantile(&xs, 0.5), 2.5, 1e-12));
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        let xs = [3.0; 10];
+        assert!(coefficient_of_variation(&xs).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pushing_shifts_mean_linearly(xs in proptest::collection::vec(-100.0..100.0f64, 2..50), shift in -10.0..10.0f64) {
+            let base: RunningStats = xs.iter().copied().collect();
+            let shifted: RunningStats = xs.iter().map(|x| x + shift).collect();
+            prop_assert!(close(shifted.mean(), base.mean() + shift, 1e-9));
+            prop_assert!(close(shifted.variance(), base.variance(), 1e-7));
+        }
+
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e3..1e3f64, 2..100)) {
+            prop_assert!(variance(&xs) >= -1e-9);
+        }
+
+        #[test]
+        fn correlation_bounded(xs in proptest::collection::vec(-1e3..1e3f64, 3..50),
+                               ys in proptest::collection::vec(-1e3..1e3f64, 3..50)) {
+            let n = xs.len().min(ys.len());
+            let r = correlation(&xs[..n], &ys[..n]);
+            if r.is_finite() {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn quantile_within_range(xs in proptest::collection::vec(-1e3..1e3f64, 1..100), q in 0.0..1.0f64) {
+            let v = quantile(&xs, q);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimal scoped-thread data parallelism.
+//!
+//! The workloads in this workspace are embarrassingly parallel over an
+//! index range: `m` ensemble samples to simulate, `t_max` time steps to
+//! align and estimate, `R` random matrix draws to sweep. Rather than pull
+//! in a full work-stealing runtime, this crate provides a tiny,
+//! dependency-free parallel map built on [`std::thread::scope`] with an
+//! atomic work counter for dynamic load balancing.
+//!
+//! Design points (see the Rust Performance Book & "Rust Atomics and Locks"
+//! guidance this workspace follows):
+//!
+//! * **Determinism** — results are written into pre-allocated output slots
+//!   indexed by task id, so the output order never depends on the thread
+//!   schedule. Seed *derivation* (not shared streams) keeps stochastic
+//!   tasks reproducible; see `sops_math::rng::derive_seed`.
+//! * **Dynamic balancing** — workers claim indices with `fetch_add`
+//!   (relaxed ordering suffices: the counter is only a work dispenser and
+//!   `scope` join provides the final happens-before edge).
+//! * **Panic safety** — a panicking task aborts the scope with the
+//!   original panic payload, matching `std::thread::scope` semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum number of worker threads used by [`parallel_map`] /
+/// [`parallel_for`] when no explicit count is given.
+///
+/// Resolution order: the `SOPS_THREADS` environment variable if set and
+/// parseable, else [`std::thread::available_parallelism`], else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SOPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..len`, in parallel, collecting results
+/// in index order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers) and the
+/// produced values are written into their index's slot, so the output is
+/// identical to `(0..len).map(f).collect()` regardless of scheduling.
+///
+/// Falls back to a sequential loop when `len` or the thread count is 1 —
+/// callers don't pay thread spawn costs for trivial work.
+pub fn parallel_map<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    {
+        let next = AtomicUsize::new(0);
+        let out_slots = SliceCells::new(&mut out);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    // Relaxed is enough: the counter only dispenses indices;
+                    // scope join synchronizes the writes below.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let value = f(i);
+                    // SAFETY: every index is claimed exactly once by the
+                    // fetch_add above, so no two threads write slot `i`.
+                    unsafe { out_slots.write(i, Some(value)) };
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("parallel_map: slot not filled"))
+        .collect()
+}
+
+/// Like [`parallel_map`] but with the default thread count.
+pub fn parallel_map_auto<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map(len, default_threads(), f)
+}
+
+/// Runs `f(i)` for every index in `0..len` in parallel, for side effects.
+pub fn parallel_for<F>(len: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 || len <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Splits `data` into disjoint mutable chunks and runs `f(chunk_index,
+/// chunk)` on each in parallel.
+///
+/// Chunks are as even as possible: the first `len % chunks` chunks get one
+/// extra element. Useful for in-place per-slice transformations (e.g.
+/// aligning each sample's particle vector).
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunks: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunks = chunks.max(1);
+    let len = data.len();
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut slices: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks);
+    let mut rest = data;
+    for c in 0..chunks {
+        let take = base + usize::from(c < extra);
+        let (head, tail) = rest.split_at_mut(take.min(rest.len()));
+        slices.push((c, head));
+        rest = tail;
+    }
+    let next = AtomicUsize::new(0);
+    let cells = SliceCells::new(&mut slices);
+    let threads = threads.max(1).min(chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks {
+                    break;
+                }
+                // SAFETY: each index claimed once; we only take the chunk
+                // out of its slot, never alias it.
+                let (idx, chunk) = unsafe { cells.take(i) };
+                f(idx, chunk);
+            });
+        }
+    });
+}
+
+/// Parallel fold-then-reduce over `0..len`.
+///
+/// Each worker folds its claimed indices into a thread-local accumulator
+/// created by `init`, and the per-worker accumulators are combined with
+/// `merge` in worker order. `merge` must be associative and `init` must be
+/// its identity for the result to be schedule-independent; all uses in this
+/// workspace (statistics merging, sum of force norms) satisfy that.
+pub fn parallel_reduce<A, F, M, I>(len: usize, threads: usize, init: I, fold: F, merge: M) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 || len <= 1 {
+        return (0..len).fold(init(), &fold);
+    }
+    let next = AtomicUsize::new(0);
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        acc = fold(acc, i);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_reduce: worker panicked"))
+            .collect()
+    });
+    partials
+        .into_iter()
+        .fold(init(), merge)
+}
+
+/// Interior-mutability wrapper granting per-index write access to a slice
+/// from multiple threads.
+///
+/// Safety contract: callers must guarantee each index is accessed by at
+/// most one thread (enforced in this crate by the `fetch_add` index
+/// dispenser).
+struct SliceCells<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline (unique index per thread) is upheld by callers
+// within this crate; T: Send makes moving values across threads sound.
+unsafe impl<T: Send> Sync for SliceCells<'_, T> {}
+unsafe impl<T: Send> Send for SliceCells<'_, T> {}
+
+impl<'a, T> SliceCells<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        SliceCells {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `value` into slot `i`, dropping the previous value.
+    ///
+    /// # Safety
+    ///
+    /// `i < len` and no other thread may access slot `i` concurrently.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+
+    /// Moves the value out of slot `i` (leaving moved-from memory that must
+    /// not be touched again), used for handing `&mut` chunks to workers.
+    ///
+    /// # Safety
+    ///
+    /// `i < len`, slot `i` accessed by exactly one thread, and the caller
+    /// must ensure the original slice is not used after the scope in a way
+    /// that observes the moved-from slot. In this crate the slot type is
+    /// `(usize, &mut [T])` which is `Copy`-free but the containing `Vec` is
+    /// dropped immediately after the scope without reads.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn take(&self, i: usize) -> T
+    where
+        T: Sized,
+    {
+        debug_assert!(i < self.len);
+        std::ptr::read(self.ptr.add(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_matches_sequential() {
+        let par = parallel_map(1000, 8, |i| i * i);
+        let seq: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_with_one_thread_and_empty() {
+        assert_eq!(parallel_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        let empty: Vec<usize> = parallel_map(0, 8, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_auto_threads() {
+        let out = parallel_map_auto(100, |i| 2 * i);
+        assert_eq!(out[99], 198);
+    }
+
+    #[test]
+    fn map_preserves_order_under_uneven_work() {
+        // Make early indices slow so late indices finish first.
+        let out = parallel_map(64, 8, |i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(500, 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_partitions_fully() {
+        let mut data: Vec<u64> = vec![0; 103];
+        parallel_chunks_mut(&mut data, 7, 4, |c, chunk| {
+            for v in chunk.iter_mut() {
+                *v = c as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0), "all elements touched");
+        // First 103 % 7 = 5 chunks have 15 elements, rest 14.
+        assert_eq!(data.iter().filter(|&&v| v == 1).count(), 15);
+        assert_eq!(data.iter().filter(|&&v| v == 7).count(), 14);
+    }
+
+    #[test]
+    fn chunks_mut_more_chunks_than_items() {
+        let mut data = vec![1u32; 3];
+        parallel_chunks_mut(&mut data, 10, 4, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert_eq!(data, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let total = parallel_reduce(10_000, 8, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn reduce_single_thread_path() {
+        let total = parallel_reduce(10, 1, || 1u64, |acc, i| acc * (i as u64 + 1), |a, b| a * b);
+        assert_eq!(total, 3_628_800); // 10!
+    }
+
+    #[test]
+    fn stress_many_small_maps() {
+        for round in 0..50 {
+            let out = parallel_map(17, 8, move |i| i + round);
+            assert_eq!(out[16], 16 + round);
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn map_handles_non_copy_results() {
+        let out = parallel_map(100, 4, |i| vec![i; i % 5]);
+        assert_eq!(out[7], vec![7, 7]);
+        assert!(out[0].is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! `repro` — regenerates every figure of Harder & Polani (2012).
+//!
+//! ```text
+//! repro [--figure figN[,figM…]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]
+//! ```
+//!
+//! Without `--figure`, all figures run in order. `--fast` switches to the
+//! reduced smoke-scale parameters (seconds instead of minutes). CSV
+//! series land in `--out` (default `results/`).
+
+use sops_core::{figures, RunOptions};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const ALL_FIGURES: [&str; 12] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12",
+];
+
+struct Args {
+    figures: Vec<String>,
+    opts: RunOptions,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--figure figN[,figM...]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]\n\
+         figures: {}",
+        ALL_FIGURES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut figures: Vec<String> = Vec::new();
+    let mut opts = RunOptions {
+        out_dir: Some(std::path::PathBuf::from("results")),
+        ..RunOptions::default()
+    };
+    let mut list = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--figure" | "-f" => {
+                i += 1;
+                let value = argv.get(i).unwrap_or_else(|| usage());
+                for name in value.split(',') {
+                    let name = name.trim().to_lowercase();
+                    if !ALL_FIGURES.contains(&name.as_str()) {
+                        eprintln!("unknown figure: {name}");
+                        usage();
+                    }
+                    figures.push(name);
+                }
+            }
+            "--fast" => opts.fast = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = Some(std::path::PathBuf::from(
+                    argv.get(i).unwrap_or_else(|| usage()),
+                ));
+            }
+            "--no-out" => opts.out_dir = None,
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if figures.is_empty() {
+        figures = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+    }
+    Args {
+        figures,
+        opts,
+        list,
+    }
+}
+
+fn run_figure(name: &str, opts: &RunOptions) {
+    match name {
+        "fig1" => figures::fig1::run(opts).print(),
+        "fig2" => figures::fig2::run(opts).print(),
+        "fig3" => figures::fig3::run(opts).print(),
+        "fig4" => figures::fig4::run(opts).print(),
+        "fig5" => figures::fig5::run(opts).print(),
+        "fig6" => figures::fig6::run(opts).print(),
+        "fig7" => figures::fig7::run(opts).print(),
+        "fig8" => figures::fig8::run(opts).print(),
+        "fig9" => figures::fig9::run(opts).print(),
+        "fig10" => figures::fig10::run(opts).print(),
+        "fig11" => figures::fig11::run(opts).print(),
+        "fig12" => figures::fig12::run(opts).print(),
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list {
+        for f in ALL_FIGURES {
+            println!("{f}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "sops repro — {} mode, seed {}, output {}",
+        if args.opts.fast { "fast" } else { "full" },
+        args.opts.seed,
+        args.opts
+            .out_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "(none)".into())
+    );
+    let total = Instant::now();
+    for name in &args.figures {
+        println!("\n=== {name} ===");
+        let t = Instant::now();
+        run_figure(name, &args.opts);
+        println!("  [{name} done in {:.1?}]", t.elapsed());
+    }
+    println!("\nall requested figures done in {:.1?}", total.elapsed());
+    ExitCode::SUCCESS
+}

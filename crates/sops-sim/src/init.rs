@@ -1,0 +1,113 @@
+//! Initial conditions (paper §5.1).
+//!
+//! Particles are initialized "with a uniform distribution on a disc of
+//! fixed radius" centred at the origin. The paper argues (§4.2) that this
+//! choice keeps the ensemble rotation- and permutation-invariant while
+//! avoiding the impractically sparse sampling a translation-invariant
+//! initialization over all of ℝ² would require.
+
+use sops_math::{SplitMix64, Vec2};
+
+/// Samples `n` points uniformly (by area) on the disc of radius `radius`
+/// centred at the origin.
+///
+/// Uses the inverse-CDF radius transform `r = R √u`, which is exact.
+pub fn uniform_disc(n: usize, radius: f64, rng: &mut SplitMix64) -> Vec<Vec2> {
+    assert!(radius > 0.0, "uniform_disc: radius must be positive");
+    (0..n)
+        .map(|_| {
+            let r = radius * rng.next_f64().sqrt();
+            let theta = rng.next_f64() * std::f64::consts::TAU;
+            Vec2::from_polar(r, theta)
+        })
+        .collect()
+}
+
+/// Places `n` points on a regular grid inside a disc — a deterministic
+/// initial condition used by tests and by the Fig. 3 regular-grid
+/// diagnostics.
+pub fn hex_grid_in_disc(n: usize, spacing: f64) -> Vec<Vec2> {
+    assert!(spacing > 0.0);
+    // Spiral outward over hexagonal lattice sites until n are collected.
+    let mut pts = vec![Vec2::ZERO];
+    let mut ring = 1;
+    'outer: while pts.len() < n {
+        // Hex ring `ring` has 6*ring sites.
+        for i in 0..(6 * ring) {
+            let side = i / ring;
+            let offset = (i % ring) as f64;
+            let corner = Vec2::from_polar(
+                ring as f64 * spacing,
+                std::f64::consts::FRAC_PI_3 * side as f64,
+            );
+            let next_corner = Vec2::from_polar(
+                ring as f64 * spacing,
+                std::f64::consts::FRAC_PI_3 * (side as f64 + 1.0),
+            );
+            let p = corner + (next_corner - corner) * (offset / ring as f64);
+            pts.push(p);
+            if pts.len() == n {
+                break 'outer;
+            }
+        }
+        ring += 1;
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disc_points_inside_radius() {
+        let mut rng = SplitMix64::new(3);
+        let pts = uniform_disc(5000, 4.0, &mut rng);
+        assert_eq!(pts.len(), 5000);
+        assert!(pts.iter().all(|p| p.norm() <= 4.0 + 1e-12));
+    }
+
+    #[test]
+    fn disc_is_uniform_by_area() {
+        // Under area-uniformity, the fraction inside radius R/2 is 1/4.
+        let mut rng = SplitMix64::new(17);
+        let pts = uniform_disc(40_000, 2.0, &mut rng);
+        let inner = pts.iter().filter(|p| p.norm() <= 1.0).count();
+        let frac = inner as f64 / pts.len() as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.01,
+            "inner-disc fraction {frac}, want ~0.25"
+        );
+    }
+
+    #[test]
+    fn disc_is_isotropic() {
+        let mut rng = SplitMix64::new(23);
+        let pts = uniform_disc(40_000, 1.0, &mut rng);
+        let mean = Vec2::centroid(&pts);
+        assert!(mean.norm() < 0.02, "centroid {mean:?} should be near origin");
+        let right = pts.iter().filter(|p| p.x > 0.0).count() as f64;
+        assert!((right / pts.len() as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn disc_reproducible_per_seed() {
+        let a = uniform_disc(10, 1.0, &mut SplitMix64::new(7));
+        let b = uniform_disc(10, 1.0, &mut SplitMix64::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hex_grid_count_and_spacing() {
+        let pts = hex_grid_in_disc(19, 1.0); // center + 2 full rings = 1+6+12
+        assert_eq!(pts.len(), 19);
+        // Nearest-neighbour distance of interior sites is the spacing.
+        let mut min_d = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                min_d = min_d.min(pts[i].dist(pts[j]));
+            }
+        }
+        assert!((min_d - 1.0).abs() < 1e-9, "min spacing {min_d}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Stochastic integration of the overdamped dynamics (paper §4.1).
+//!
+//! One *recorded* step of length `dt` is split into `substeps` internal
+//! substeps. Two schemes are provided:
+//!
+//! * [`Scheme::EulerMaruyama`] (the paper's choice):
+//!   `z ← z + h·f(z) + √h·σ_w·ξ`, strong order 0.5;
+//! * [`Scheme::Heun`] (stochastic Heun / improved Euler): drift handled
+//!   by the two-stage predictor–corrector
+//!   `z ← z + h/2·(f(z) + f(z + h·f(z))) + √h·σ_w·ξ`, which is weak
+//!   order 2 in the drift for additive noise — the `integrator` tests
+//!   verify its deterministic convergence advantage.
+//!
+//! `σ_w = √noise_variance` (the paper's `w ~ N(0, 0.05)`; see DESIGN.md
+//! #1 for the variance-vs-std reading). The per-substep *drift*
+//! displacement is clamped to `max_step` to keep `F¹`'s `1/x` pole from
+//! catapulting particles in the rare event that two of them nearly
+//! coincide — the clamp engages only in that regime and is configurable
+//! (and benchmarked) as an ablation.
+
+use crate::model::Model;
+use sops_math::{SplitMix64, Vec2};
+
+/// The stochastic integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// The paper's scheme (Eq. 6 solved "using Euler–Maruyama
+    /// integration").
+    #[default]
+    EulerMaruyama,
+    /// Stochastic Heun: two drift evaluations per substep, weak order 2
+    /// in the drift for the additive noise used here.
+    Heun,
+}
+
+/// Integration parameters for one recorded time step.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegratorConfig {
+    /// Length of one recorded time step (the paper's unit of `t`).
+    pub dt: f64,
+    /// Internal substeps per recorded step.
+    pub substeps: usize,
+    /// Noise variance per unit time; the paper uses 0.05.
+    pub noise_variance: f64,
+    /// Per-substep cap on the *drift* displacement norm of any particle.
+    pub max_step: f64,
+    /// Integration scheme.
+    pub scheme: Scheme,
+}
+
+impl Default for IntegratorConfig {
+    fn default() -> Self {
+        IntegratorConfig {
+            dt: 0.1,
+            substeps: 4,
+            noise_variance: crate::DEFAULT_NOISE_VARIANCE,
+            max_step: 0.5,
+            scheme: Scheme::EulerMaruyama,
+        }
+    }
+}
+
+impl IntegratorConfig {
+    /// Validates the configuration; called by [`crate::Simulation`].
+    pub fn validate(&self) {
+        assert!(self.dt > 0.0 && self.dt.is_finite(), "dt must be positive");
+        assert!(self.substeps > 0, "substeps must be >= 1");
+        assert!(
+            self.noise_variance >= 0.0,
+            "noise variance must be non-negative"
+        );
+        assert!(self.max_step > 0.0, "max_step must be positive");
+    }
+
+    /// A noiseless copy — used by deterministic tests and by the
+    /// equilibrium analysis, where noise would mask vanishing drift.
+    pub fn deterministic(mut self) -> Self {
+        self.noise_variance = 0.0;
+        self
+    }
+}
+
+/// Advances `positions` by one recorded step; `forces` is scratch space
+/// reused across calls (the "workhorse collection" pattern).
+///
+/// Returns the drift force-norm sum `Σ_i ‖f_i‖₂` measured at the *start*
+/// of the step, which the caller feeds to equilibrium detection.
+pub fn step(
+    model: &Model,
+    cfg: &IntegratorConfig,
+    positions: &mut [Vec2],
+    forces: &mut Vec<Vec2>,
+    rng: &mut SplitMix64,
+) -> f64 {
+    let h = cfg.dt / cfg.substeps as f64;
+    let noise_scale = (cfg.noise_variance * h).sqrt();
+    let mut first_force_norm = 0.0;
+    // Scratch for the Heun corrector stage (unused by Euler–Maruyama).
+    let mut predicted: Vec<Vec2> = Vec::new();
+    let mut forces2: Vec<Vec2> = Vec::new();
+    for sub in 0..cfg.substeps {
+        model.net_forces(positions, forces);
+        if sub == 0 {
+            first_force_norm = forces.iter().map(|f| f.norm()).sum();
+        }
+        match cfg.scheme {
+            Scheme::EulerMaruyama => {
+                for (z, f) in positions.iter_mut().zip(forces.iter()) {
+                    let drift = (*f * h).clamp_norm(cfg.max_step);
+                    *z += drift + sample_noise(noise_scale, rng);
+                }
+            }
+            Scheme::Heun => {
+                // Predictor: full Euler drift step.
+                predicted.clear();
+                predicted.extend(
+                    positions
+                        .iter()
+                        .zip(forces.iter())
+                        .map(|(z, f)| *z + (*f * h).clamp_norm(cfg.max_step)),
+                );
+                // Corrector: average the drift at both ends; noise is
+                // added once (additive noise needs no derivative terms).
+                model.net_forces(&predicted, &mut forces2);
+                for ((z, f0), f1) in positions.iter_mut().zip(forces.iter()).zip(forces2.iter()) {
+                    let drift = ((*f0 + *f1) * (0.5 * h)).clamp_norm(cfg.max_step);
+                    *z += drift + sample_noise(noise_scale, rng);
+                }
+            }
+        }
+    }
+    first_force_norm
+}
+
+#[inline]
+fn sample_noise(noise_scale: f64, rng: &mut SplitMix64) -> Vec2 {
+    if noise_scale > 0.0 {
+        Vec2::new(
+            noise_scale * rng.next_standard_normal(),
+            noise_scale * rng.next_standard_normal(),
+        )
+    } else {
+        Vec2::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{ForceModel, LinearForce};
+
+    fn pair_model(k: f64, r: f64) -> Model {
+        Model::new(
+            vec![0, 0],
+            ForceModel::Linear(LinearForce::uniform(k, r)),
+            f64::INFINITY,
+        )
+    }
+
+    #[test]
+    fn two_attracting_particles_approach_preferred_distance() {
+        let model = pair_model(1.0, 1.0);
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut pos = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
+        let mut forces = Vec::new();
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..500 {
+            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        }
+        let sep = pos[0].dist(pos[1]);
+        assert!(
+            (sep - 1.0).abs() < 1e-3,
+            "separation {sep} should settle at r = 1"
+        );
+    }
+
+    #[test]
+    fn repelling_pair_separates_to_preferred_distance() {
+        let model = pair_model(1.0, 2.0);
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut pos = vec![Vec2::new(-0.2, 0.0), Vec2::new(0.2, 0.0)];
+        let mut forces = Vec::new();
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..1000 {
+            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        }
+        let sep = pos[0].dist(pos[1]);
+        assert!((sep - 2.0).abs() < 1e-3, "separation {sep}");
+    }
+
+    #[test]
+    fn force_norm_decreases_toward_equilibrium() {
+        let model = pair_model(1.0, 1.0);
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut pos = vec![Vec2::new(-3.0, 0.0), Vec2::new(3.0, 0.0)];
+        let mut forces = Vec::new();
+        let mut rng = SplitMix64::new(0);
+        let early = step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        for _ in 0..300 {
+            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        }
+        let late = step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        assert!(late < early * 1e-3, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn noise_moves_isolated_particle_diffusively() {
+        // A single particle feels no force; its displacement over many
+        // steps should have variance ~ noise_variance * elapsed_time per
+        // coordinate.
+        let model = Model::new(
+            vec![0],
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            f64::INFINITY,
+        );
+        let cfg = IntegratorConfig {
+            dt: 0.1,
+            substeps: 1,
+            noise_variance: 0.05,
+            max_step: 0.5,
+            scheme: Scheme::EulerMaruyama,
+        };
+        let trials = 2000;
+        let steps = 50;
+        let mut sum_sq = 0.0;
+        for t in 0..trials {
+            let mut rng = SplitMix64::new(t);
+            let mut pos = vec![Vec2::ZERO];
+            let mut forces = Vec::new();
+            for _ in 0..steps {
+                step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+            }
+            sum_sq += pos[0].x * pos[0].x;
+        }
+        let var = sum_sq / trials as f64;
+        let expected = 0.05 * cfg.dt * steps as f64; // = 0.25
+        assert!(
+            (var - expected).abs() < 0.15 * expected,
+            "empirical {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_copy_disables_noise() {
+        let cfg = IntegratorConfig::default().deterministic();
+        assert_eq!(cfg.noise_variance, 0.0);
+        let model = pair_model(1.0, 1.0);
+        let mut a = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
+        let mut b = a.clone();
+        let mut fa = Vec::new();
+        let mut fb = Vec::new();
+        step(&model, &cfg, &mut a, &mut fa, &mut SplitMix64::new(1));
+        step(&model, &cfg, &mut b, &mut fb, &mut SplitMix64::new(999));
+        assert_eq!(a, b, "noiseless integration ignores the RNG");
+    }
+
+    #[test]
+    fn max_step_bounds_drift_displacement() {
+        // Enormous force scale; displacement must still be bounded by
+        // max_step per substep.
+        let model = pair_model(1e9, 1.0);
+        let cfg = IntegratorConfig {
+            dt: 0.1,
+            substeps: 1,
+            noise_variance: 0.0,
+            max_step: 0.3,
+            scheme: Scheme::EulerMaruyama,
+        };
+        let mut pos = vec![Vec2::new(-5.0, 0.0), Vec2::new(5.0, 0.0)];
+        let before = pos.clone();
+        let mut forces = Vec::new();
+        step(&model, &cfg, &mut pos, &mut forces, &mut SplitMix64::new(0));
+        for (p, q) in pos.iter().zip(&before) {
+            assert!(p.dist(*q) <= 0.3 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "substeps")]
+    fn validate_rejects_zero_substeps() {
+        IntegratorConfig {
+            substeps: 0,
+            ..IntegratorConfig::default()
+        }
+        .validate();
+    }
+}
+
+#[cfg(test)]
+mod heun_tests {
+    use super::*;
+    use crate::force::{ForceModel, LinearForce};
+
+    fn pair_model(k: f64, r: f64) -> Model {
+        Model::new(
+            vec![0, 0],
+            ForceModel::Linear(LinearForce::uniform(k, r)),
+            f64::INFINITY,
+        )
+    }
+
+    /// Deterministic endpoint of a stiff two-body relaxation after fixed
+    /// wall-clock time, at the given scheme and substep count.
+    fn endpoint(scheme: Scheme, substeps: usize) -> f64 {
+        let model = pair_model(4.0, 1.0);
+        let cfg = IntegratorConfig {
+            dt: 0.2,
+            substeps,
+            noise_variance: 0.0,
+            max_step: 10.0,
+            scheme,
+        };
+        let mut pos = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
+        let mut forces = Vec::new();
+        let mut rng = SplitMix64::new(0);
+        // Two recorded steps only: the comparison happens mid-transient,
+        // where truncation error has not yet been absorbed by the
+        // attracting fixed point.
+        for _ in 0..2 {
+            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        }
+        pos[0].dist(pos[1])
+    }
+
+    #[test]
+    fn heun_converges_faster_than_euler_on_stiff_drift() {
+        // Reference: very fine Heun integration (higher order, so the
+        // most accurate proxy for the continuum solution).
+        let reference = endpoint(Scheme::Heun, 4096);
+        let euler_err = (endpoint(Scheme::EulerMaruyama, 4) - reference).abs();
+        let heun_err = (endpoint(Scheme::Heun, 4) - reference).abs();
+        assert!(
+            heun_err < 0.25 * euler_err,
+            "Heun error {heun_err} should be well below Euler error {euler_err}"
+        );
+    }
+
+    #[test]
+    fn heun_self_converges_quickly() {
+        // O(h²) drift error: 32 vs 4096 substeps already agree tightly.
+        let fine = endpoint(Scheme::Heun, 4096);
+        let heun = endpoint(Scheme::Heun, 32);
+        assert!((heun - fine).abs() < 1e-3, "heun {heun} vs reference {fine}");
+    }
+
+    #[test]
+    fn schemes_agree_in_the_small_step_limit() {
+        // Euler's O(h) error at h = dt/4096 bounds the gap.
+        let a = endpoint(Scheme::EulerMaruyama, 4096);
+        let b = endpoint(Scheme::Heun, 4096);
+        assert!((a - b).abs() < 2e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn heun_noise_statistics_match_euler() {
+        // Additive noise: both schemes must produce the same diffusion for
+        // a force-free particle.
+        let model = Model::new(
+            vec![0],
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            f64::INFINITY,
+        );
+        let measure = |scheme: Scheme| -> f64 {
+            let cfg = IntegratorConfig {
+                dt: 0.1,
+                substeps: 1,
+                noise_variance: 0.05,
+                max_step: 0.5,
+                scheme,
+            };
+            let trials = 4000;
+            let mut sum_sq = 0.0;
+            for t in 0..trials {
+                let mut rng = SplitMix64::new(t);
+                let mut pos = vec![Vec2::ZERO];
+                let mut forces = Vec::new();
+                for _ in 0..20 {
+                    step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+                }
+                sum_sq += pos[0].norm_sq();
+            }
+            sum_sq / trials as f64
+        };
+        let em = measure(Scheme::EulerMaruyama);
+        let heun = measure(Scheme::Heun);
+        assert!(
+            (em - heun).abs() < 0.1 * em,
+            "diffusion mismatch: EM {em} vs Heun {heun}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The interacting particle model of Harder & Polani (2012), §4.1 and §5.1.
+//!
+//! `n` particles with fixed types move in the plane under overdamped
+//! ("strong friction limit") dynamics:
+//!
+//! ```text
+//! ż_i = Σ_{j ∈ N_rc(i)}  −F_{αβ}(‖Δz_ij‖₂) Δz_ij  +  w,    Δz_ij = z_i − z_j
+//! ```
+//!
+//! with `w ~ N(0, 0.05)` additive white Gaussian noise, integrated by the
+//! Euler–Maruyama scheme. `F_{αβ}` is a *force-scaling* function of the
+//! inter-particle distance, parameterized per unordered type pair: positive
+//! values attract, negative values repel (see [`force`] for the sign
+//! derivation). Interactions are cut off at radius `r_c`; `r_c = ∞` is the
+//! long-range regime of the paper's Figs. 9–10.
+//!
+//! Crate layout:
+//!
+//! * [`force`] — the two force-scaling families `F¹` (linear, long-range
+//!   attraction) and `F²` (difference of Gaussians), plus random matrix
+//!   generators used by the sweep experiments.
+//! * [`model`] — particle types + force law + cut-off bundled as a
+//!   [`Model`].
+//! * [`integrator`] — Euler–Maruyama stepping with substeps and a
+//!   displacement clamp for the `1/x` singularity of `F¹`.
+//! * [`sim`] — a single simulation run producing a [`Trajectory`];
+//!   equilibrium and limit-cycle detection (§4.1, §6).
+//! * [`init`] — the uniform-disc initial distribution (§5.1).
+//! * [`ensemble`] — `m` independent runs in parallel with derived seeds
+//!   (bit-reproducible regardless of thread count).
+
+pub mod ensemble;
+pub mod force;
+pub mod init;
+pub mod integrator;
+pub mod model;
+pub mod sim;
+
+pub use ensemble::{run_ensemble, Ensemble, EnsembleSpec};
+pub use force::{ForceLaw, ForceModel, GaussianForce, LinearForce};
+pub use integrator::IntegratorConfig;
+pub use model::Model;
+pub use sim::{EquilibriumCriterion, Simulation, Trajectory};
+
+/// Default noise level: the paper's `w ~ N(0, 0.05)` read as *variance* per
+/// unit time (std ≈ 0.2236). See DESIGN.md, pinned interpretation #1.
+pub const DEFAULT_NOISE_VARIANCE: f64 = 0.05;

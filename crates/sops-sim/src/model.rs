@@ -1,0 +1,294 @@
+//! The model: particle types + force law + interaction cut-off.
+
+use crate::force::{ForceLaw, ForceModel};
+use sops_math::Vec2;
+use sops_spatial::CellGrid;
+
+/// Distance below which the force-scaling argument is clamped, guarding
+/// `F¹`'s `r/x` pole when two particles coincide numerically.
+const MIN_DISTANCE: f64 = 1e-9;
+
+/// When the cut-off is finite, the cell-grid neighbour list is used above
+/// this particle count; below it the direct `O(n²)` loop is faster.
+const GRID_THRESHOLD: usize = 64;
+
+/// A particle system: each particle's fixed type, the force-scaling law
+/// and the interaction cut-off radius `r_c`.
+#[derive(Debug, Clone)]
+pub struct Model {
+    types: Vec<u16>,
+    law: ForceModel,
+    cutoff: f64,
+}
+
+impl Model {
+    /// Builds a model.
+    ///
+    /// `types[i]` is the type of particle `i` and must be `< law.types()`.
+    /// `cutoff` may be `f64::INFINITY` for unbounded interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty particle list, an out-of-range type id, or a
+    /// non-positive cut-off.
+    pub fn new(types: Vec<u16>, law: ForceModel, cutoff: f64) -> Self {
+        assert!(!types.is_empty(), "Model: need at least one particle");
+        let l = law.types();
+        assert!(
+            types.iter().all(|&t| (t as usize) < l),
+            "Model: particle type out of range (law has {l} types)"
+        );
+        assert!(cutoff > 0.0, "Model: cut-off must be positive");
+        Model { types, law, cutoff }
+    }
+
+    /// A model with `n` particles split as evenly as possible across the
+    /// law's `l` types (types assigned round-robin: 0, 1, …, l−1, 0, …).
+    pub fn balanced(n: usize, law: ForceModel, cutoff: f64) -> Self {
+        let l = law.types();
+        let types = (0..n).map(|i| (i % l) as u16).collect();
+        Model::new(types, law, cutoff)
+    }
+
+    /// Number of particles `n`.
+    pub fn particles(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of types `l` the force law distinguishes.
+    pub fn type_count(&self) -> usize {
+        self.law.types()
+    }
+
+    /// Type of particle `i`.
+    #[inline]
+    pub fn type_of(&self, i: usize) -> usize {
+        self.types[i] as usize
+    }
+
+    /// All particle types.
+    pub fn types(&self) -> &[u16] {
+        &self.types
+    }
+
+    /// The force law.
+    pub fn law(&self) -> &ForceModel {
+        &self.law
+    }
+
+    /// Interaction cut-off radius `r_c` (possibly infinite).
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Number of particles of each type, indexed by type id.
+    pub fn type_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.type_count()];
+        for &t in &self.types {
+            h[t as usize] += 1;
+        }
+        h
+    }
+
+    /// Drift term of Eq. 6 for every particle: `f_i = Σ_j −F(‖Δz_ij‖) Δz_ij`
+    /// over neighbours within the cut-off, written into `out`.
+    ///
+    /// Uses a cell grid when the cut-off is finite and the system is large
+    /// enough to amortize the build; otherwise the direct pair loop.
+    pub fn net_forces(&self, positions: &[Vec2], out: &mut Vec<Vec2>) {
+        let n = positions.len();
+        assert_eq!(n, self.particles(), "net_forces: position count mismatch");
+        out.clear();
+        out.resize(n, Vec2::ZERO);
+        if self.cutoff.is_finite() && n >= GRID_THRESHOLD {
+            let grid = CellGrid::build(positions, self.cutoff);
+            for i in 0..n {
+                let ti = self.type_of(i);
+                let zi = positions[i];
+                let mut acc = Vec2::ZERO;
+                grid.for_neighbors(zi, self.cutoff, i, |j, d2| {
+                    let delta = zi - positions[j];
+                    let x = d2.sqrt().max(MIN_DISTANCE);
+                    let f = self.law.scale(ti, self.type_of(j), x);
+                    acc -= delta * f;
+                });
+                out[i] = acc;
+            }
+        } else {
+            // Direct pair loop, exploiting Newton's third law: the
+            // symmetric force-scaling makes pair contributions equal and
+            // opposite.
+            let r2 = if self.cutoff.is_finite() {
+                self.cutoff * self.cutoff
+            } else {
+                f64::INFINITY
+            };
+            for i in 0..n {
+                let ti = self.type_of(i);
+                let zi = positions[i];
+                for j in (i + 1)..n {
+                    let delta = zi - positions[j];
+                    let d2 = delta.norm_sq();
+                    if d2 > r2 {
+                        continue;
+                    }
+                    let x = d2.sqrt().max(MIN_DISTANCE);
+                    let f = self.law.scale(ti, self.type_of(j), x);
+                    let contrib = delta * f;
+                    out[i] -= contrib;
+                    out[j] += contrib;
+                }
+            }
+        }
+    }
+
+    /// Sum of per-particle force norms `Σ_i ‖f_i‖₂` — the equilibrium
+    /// indicator of §4.1 ("the sum of the L2 norm of the sum of all forces
+    /// acting on each particle").
+    pub fn total_force_norm(&self, positions: &[Vec2]) -> f64 {
+        let mut forces = Vec::new();
+        self.net_forces(positions, &mut forces);
+        forces.iter().map(|f| f.norm()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{GaussianForce, LinearForce};
+    use sops_math::PairMatrix;
+
+    fn two_particle_model(law: ForceModel, cutoff: f64) -> Model {
+        Model::new(vec![0, 0], law, cutoff)
+    }
+
+    #[test]
+    fn attraction_above_preferred_distance() {
+        let m = two_particle_model(
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            f64::INFINITY,
+        );
+        let pos = [Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
+        let mut f = Vec::new();
+        m.net_forces(&pos, &mut f);
+        // Separation 4 > r = 1: particles pull together.
+        assert!(f[0].x > 0.0, "left particle pulled right, got {:?}", f[0]);
+        assert!(f[1].x < 0.0);
+        // Newton's third law.
+        assert!((f[0] + f[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn repulsion_below_preferred_distance() {
+        let m = two_particle_model(
+            ForceModel::Linear(LinearForce::uniform(1.0, 2.0)),
+            f64::INFINITY,
+        );
+        let pos = [Vec2::new(-0.25, 0.0), Vec2::new(0.25, 0.0)];
+        let mut f = Vec::new();
+        m.net_forces(&pos, &mut f);
+        assert!(f[0].x < 0.0, "left particle pushed left");
+        assert!(f[1].x > 0.0);
+    }
+
+    #[test]
+    fn gaussian_law_repels_at_all_ranges() {
+        let m = two_particle_model(
+            ForceModel::Gaussian(GaussianForce::uniform(2.0, 4.0)),
+            f64::INFINITY,
+        );
+        for sep in [0.5, 1.0, 2.0, 4.0] {
+            let pos = [Vec2::new(-sep / 2.0, 0.0), Vec2::new(sep / 2.0, 0.0)];
+            let mut f = Vec::new();
+            m.net_forces(&pos, &mut f);
+            assert!(f[0].x <= 1e-12, "separation {sep}: {:?}", f[0]);
+        }
+    }
+
+    #[test]
+    fn cutoff_silences_distant_pairs() {
+        let m = two_particle_model(
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            3.0,
+        );
+        let pos = [Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)];
+        let mut f = Vec::new();
+        m.net_forces(&pos, &mut f);
+        assert_eq!(f[0], Vec2::ZERO);
+        assert_eq!(f[1], Vec2::ZERO);
+        // Equilibrium indicator is exactly zero for the decoupled pair.
+        assert_eq!(m.total_force_norm(&pos), 0.0);
+    }
+
+    #[test]
+    fn grid_path_matches_direct_path() {
+        // Build a model big enough to trigger the grid path, then compare
+        // against a clone forced down the direct path via infinite cutoff
+        // with manual distance filtering... instead: compare grid path with
+        // a brute-force recomputation here.
+        let n = 100;
+        let law = ForceModel::Linear(LinearForce::uniform(0.5, 1.0));
+        let cutoff = 2.5;
+        let m = Model::balanced(n, law.clone(), cutoff);
+        let mut rng = sops_math::SplitMix64::new(99);
+        let pos: Vec<Vec2> = (0..n)
+            .map(|_| Vec2::new(rng.next_range(-8.0, 8.0), rng.next_range(-8.0, 8.0)))
+            .collect();
+        let mut fast = Vec::new();
+        m.net_forces(&pos, &mut fast);
+
+        // Brute force reference.
+        let mut slow = vec![Vec2::ZERO; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let delta = pos[i] - pos[j];
+                let d = delta.norm();
+                if d <= cutoff {
+                    slow[i] -= delta * law.scale(0, 0, d.max(1e-9));
+                }
+            }
+        }
+        for i in 0..n {
+            assert!(
+                (fast[i] - slow[i]).norm() < 1e-9,
+                "particle {i}: {:?} vs {:?}",
+                fast[i],
+                slow[i]
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_assignment_round_robin() {
+        let law = ForceModel::Linear(LinearForce::new(
+            PairMatrix::constant(3, 1.0),
+            PairMatrix::constant(3, 1.0),
+        ));
+        let m = Model::balanced(8, law, 5.0);
+        assert_eq!(m.types(), &[0, 1, 2, 0, 1, 2, 0, 1]);
+        assert_eq!(m.type_histogram(), vec![3, 3, 2]);
+        assert_eq!(m.type_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "type out of range")]
+    fn rejects_bad_type_ids() {
+        let law = ForceModel::Linear(LinearForce::uniform(1.0, 1.0));
+        Model::new(vec![0, 1], law, 1.0);
+    }
+
+    #[test]
+    fn coincident_particles_do_not_produce_nan() {
+        let m = two_particle_model(
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            f64::INFINITY,
+        );
+        let pos = [Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.0)];
+        let mut f = Vec::new();
+        m.net_forces(&pos, &mut f);
+        assert!(f[0].is_finite() && f[1].is_finite());
+    }
+}

@@ -1,0 +1,379 @@
+//! A single simulation run: trajectory recording, equilibrium detection
+//! and limit-cycle diagnostics.
+
+use crate::integrator::{step, IntegratorConfig};
+use crate::model::Model;
+use sops_math::{SplitMix64, Vec2};
+
+/// The paper's stopping criterion (§4.1): the collective "is considered to
+/// be in equilibrium, if for several time steps the sum of the L2 norm of
+/// the sum of all forces acting on each particle is below a specific
+/// threshold".
+#[derive(Debug, Clone, Copy)]
+pub struct EquilibriumCriterion {
+    /// Threshold on `Σ_i ‖f_i‖₂` (drift forces only, noise excluded).
+    pub threshold: f64,
+    /// Number of consecutive recorded steps the indicator must stay below
+    /// the threshold.
+    pub patience: usize,
+}
+
+impl Default for EquilibriumCriterion {
+    fn default() -> Self {
+        EquilibriumCriterion {
+            threshold: 0.5,
+            patience: 10,
+        }
+    }
+}
+
+/// The recorded output of one simulation run — the sample `z̄ = (z⁽¹⁾, …,
+/// z⁽ᵗᵐᵃˣ⁾)` of paper Eq. 15.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// `frames[t][i]` is the position of particle `i` at recorded step `t`
+    /// (including the initial configuration at `t = 0`).
+    pub frames: Vec<Vec<Vec2>>,
+    /// Drift force-norm sum at the start of each recorded step (one entry
+    /// per *transition*, so `force_norms.len() == frames.len() - 1`).
+    pub force_norms: Vec<f64>,
+    /// First recorded step at which the equilibrium criterion held, if any.
+    pub equilibrium_step: Option<usize>,
+}
+
+impl Trajectory {
+    /// Number of recorded frames (`t_max + 1` including `t = 0`).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if no frames were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The final configuration.
+    pub fn last(&self) -> &[Vec2] {
+        self.frames.last().expect("Trajectory: no frames")
+    }
+
+    /// Detects an approximate limit cycle in the recorded tail (paper §6
+    /// observes periodic dynamics that never satisfy the equilibrium
+    /// criterion).
+    ///
+    /// Scans lags `1..=max_period` over the last `window` frames and
+    /// returns the smallest lag whose mean per-particle displacement is
+    /// below `tol`, ignoring lag-independent drift by comparing against the
+    /// lag-1 baseline. A system at rest reports period 1 (a fixed point).
+    pub fn detect_period(&self, window: usize, max_period: usize, tol: f64) -> Option<usize> {
+        let t = self.frames.len();
+        if t < window + max_period || window == 0 {
+            return None;
+        }
+        let start = t - window;
+        for lag in 1..=max_period {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for f in start..t - lag {
+                let a = &self.frames[f];
+                let b = &self.frames[f + lag];
+                acc += a
+                    .iter()
+                    .zip(b)
+                    .map(|(p, q)| p.dist(*q))
+                    .sum::<f64>()
+                    / a.len() as f64;
+                count += 1;
+            }
+            if count > 0 && acc / (count as f64) < tol {
+                return Some(lag);
+            }
+        }
+        None
+    }
+}
+
+/// A running simulation bundling model, integrator configuration, state
+/// and RNG.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    model: Model,
+    cfg: IntegratorConfig,
+    positions: Vec<Vec2>,
+    forces: Vec<Vec2>,
+    rng: SplitMix64,
+    time_step: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation from an explicit initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size does not match the model or the
+    /// integrator configuration is invalid.
+    pub fn from_initial(
+        model: Model,
+        cfg: IntegratorConfig,
+        initial: Vec<Vec2>,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            initial.len(),
+            model.particles(),
+            "Simulation: initial configuration size mismatch"
+        );
+        Simulation {
+            model,
+            cfg,
+            positions: initial,
+            forces: Vec::new(),
+            rng: SplitMix64::new(seed),
+            time_step: 0,
+        }
+    }
+
+    /// Creates a simulation with the paper's uniform-disc initial
+    /// distribution of the given radius.
+    pub fn with_disc_init(
+        model: Model,
+        cfg: IntegratorConfig,
+        disc_radius: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let initial = crate::init::uniform_disc(model.particles(), disc_radius, &mut rng);
+        let mut sim = Simulation::from_initial(model, cfg, initial, 0);
+        // Continue with the same stream so init and dynamics share one
+        // seed but never reuse draws.
+        sim.rng = rng;
+        sim
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Current particle positions.
+    pub fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    /// Recorded steps taken so far.
+    pub fn time_step(&self) -> usize {
+        self.time_step
+    }
+
+    /// Advances one recorded step; returns the drift force-norm sum at the
+    /// start of the step.
+    pub fn step(&mut self) -> f64 {
+        self.time_step += 1;
+        step(
+            &self.model,
+            &self.cfg,
+            &mut self.positions,
+            &mut self.forces,
+            &mut self.rng,
+        )
+    }
+
+    /// Runs `t_max` recorded steps, collecting every frame (including the
+    /// initial one) and applying the equilibrium criterion if given.
+    ///
+    /// The run always completes all `t_max` steps — the paper's analyses
+    /// need fixed-length ensembles — but the first step satisfying the
+    /// criterion is recorded in [`Trajectory::equilibrium_step`].
+    pub fn run(&mut self, t_max: usize, criterion: Option<EquilibriumCriterion>) -> Trajectory {
+        let mut frames = Vec::with_capacity(t_max + 1);
+        let mut force_norms = Vec::with_capacity(t_max);
+        frames.push(self.positions.clone());
+        let mut equilibrium_step = None;
+        let mut below = 0usize;
+        for t in 0..t_max {
+            let fnorm = self.step();
+            force_norms.push(fnorm);
+            frames.push(self.positions.clone());
+            if let Some(c) = criterion {
+                if fnorm < c.threshold {
+                    below += 1;
+                    if below >= c.patience && equilibrium_step.is_none() {
+                        equilibrium_step = Some(t + 1);
+                    }
+                } else {
+                    below = 0;
+                }
+            }
+        }
+        Trajectory {
+            frames,
+            force_norms,
+            equilibrium_step,
+        }
+    }
+
+    /// Runs until the equilibrium criterion holds or `max_steps` elapse,
+    /// without recording intermediate frames. Returns the number of steps
+    /// taken and whether equilibrium was reached.
+    pub fn run_to_equilibrium(
+        &mut self,
+        criterion: EquilibriumCriterion,
+        max_steps: usize,
+    ) -> (usize, bool) {
+        let mut below = 0usize;
+        for t in 0..max_steps {
+            let fnorm = self.step();
+            if fnorm < criterion.threshold {
+                below += 1;
+                if below >= criterion.patience {
+                    return (t + 1, true);
+                }
+            } else {
+                below = 0;
+            }
+        }
+        (max_steps, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::{ForceModel, GaussianForce, LinearForce};
+
+    fn small_model(n: usize) -> Model {
+        Model::balanced(
+            n,
+            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+            f64::INFINITY,
+        )
+    }
+
+    #[test]
+    fn run_records_all_frames() {
+        let mut sim = Simulation::with_disc_init(
+            small_model(5),
+            IntegratorConfig::default(),
+            2.0,
+            42,
+        );
+        let traj = sim.run(20, None);
+        assert_eq!(traj.len(), 21);
+        assert_eq!(traj.force_norms.len(), 20);
+        assert_eq!(traj.last().len(), 5);
+        assert!(!traj.is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_trajectory() {
+        let make = || {
+            Simulation::with_disc_init(small_model(8), IntegratorConfig::default(), 3.0, 7)
+                .run(30, None)
+        };
+        let a = make();
+        let b = make();
+        for (fa, fb) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = Simulation::with_disc_init(small_model(8), IntegratorConfig::default(), 3.0, 1)
+            .run(5, None);
+        let b = Simulation::with_disc_init(small_model(8), IntegratorConfig::default(), 3.0, 2)
+            .run(5, None);
+        assert_ne!(a.frames[0], b.frames[0], "different initial conditions");
+    }
+
+    #[test]
+    fn attracting_collective_reaches_equilibrium() {
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut sim = Simulation::with_disc_init(small_model(6), cfg, 2.0, 11);
+        let (steps, reached) = sim.run_to_equilibrium(
+            EquilibriumCriterion {
+                threshold: 1e-3,
+                patience: 5,
+            },
+            5000,
+        );
+        assert!(reached, "no equilibrium after {steps} steps");
+        // Once in equilibrium, all pair distances should be near the
+        // preferred distance or a packing compatible with it.
+        let final_norm = sim.model().total_force_norm(sim.positions());
+        assert!(final_norm < 1e-3);
+    }
+
+    #[test]
+    fn equilibrium_step_recorded_in_run() {
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut sim = Simulation::with_disc_init(small_model(4), cfg, 1.5, 3);
+        let traj = sim.run(
+            800,
+            Some(EquilibriumCriterion {
+                threshold: 1e-3,
+                patience: 5,
+            }),
+        );
+        let eq = traj.equilibrium_step.expect("should equilibrate");
+        assert!(eq >= 5, "patience must elapse first");
+        assert!(eq < 800);
+    }
+
+    #[test]
+    fn noisy_system_does_not_report_spurious_equilibrium_with_tight_threshold() {
+        // With noise, positions jitter; drift forces at a noisy packing
+        // stay above an extremely tight threshold.
+        let mut sim = Simulation::with_disc_init(
+            small_model(10),
+            IntegratorConfig::default(),
+            2.0,
+            5,
+        );
+        let traj = sim.run(
+            100,
+            Some(EquilibriumCriterion {
+                threshold: 1e-12,
+                patience: 3,
+            }),
+        );
+        assert!(traj.equilibrium_step.is_none());
+    }
+
+    #[test]
+    fn fixed_point_detected_as_period_one() {
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut sim = Simulation::with_disc_init(small_model(4), cfg, 1.5, 9);
+        let traj = sim.run(600, None);
+        let period = traj.detect_period(50, 5, 1e-6);
+        assert_eq!(period, Some(1));
+    }
+
+    #[test]
+    fn expanding_gaussian_collective_has_no_tight_period() {
+        // Pure repulsion keeps expanding; no approximate period at tight
+        // tolerance within the recorded horizon.
+        let model = Model::balanced(
+            12,
+            ForceModel::Gaussian(GaussianForce::uniform(5.0, 4.0)),
+            f64::INFINITY,
+        );
+        let cfg = IntegratorConfig::default().deterministic();
+        let mut sim = Simulation::with_disc_init(model, cfg, 1.0, 13);
+        let traj = sim.run(80, None);
+        assert_eq!(traj.detect_period(30, 5, 1e-9), None);
+    }
+
+    #[test]
+    fn trajectory_too_short_for_period_detection() {
+        let mut sim = Simulation::with_disc_init(
+            small_model(3),
+            IntegratorConfig::default(),
+            1.0,
+            21,
+        );
+        let traj = sim.run(5, None);
+        assert_eq!(traj.detect_period(10, 5, 1e-3), None);
+    }
+}

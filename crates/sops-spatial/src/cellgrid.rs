@@ -1,0 +1,275 @@
+//! Uniform-grid neighbour lists for the simulator.
+//!
+//! The particle simulator needs, at every step, all pairs within the
+//! cut-off radius `r_c` (paper Eq. 6). A uniform grid with cell size `r_c`
+//! turns that into an `O(n)` build plus an `O(n · density)` sweep over the
+//! 3×3 cell neighbourhood — the standard "cell list" method from molecular
+//! dynamics. For unbounded interactions (`r_c = ∞`, used by Figs. 9 and 10)
+//! the caller falls back to the all-pairs loop.
+
+use sops_math::Vec2;
+
+/// A uniform grid over 2-D points supporting radius-bounded neighbour
+/// iteration. Uses a CSR layout (offsets + packed indices) to avoid
+/// per-cell allocations.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    cell: f64,
+    origin: Vec2,
+    nx: usize,
+    ny: usize,
+    /// CSR offsets: cell c holds indices `items[offsets[c]..offsets[c+1]]`.
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Vec2>,
+}
+
+impl CellGrid {
+    /// Builds a grid with cells of size `cell_size` covering the bounding
+    /// box of `points`.
+    ///
+    /// `cell_size` should be ≥ the query radius used later so that the 3×3
+    /// neighbourhood sweep is exhaustive; [`CellGrid::for_neighbors`]
+    /// asserts this in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive.
+    pub fn build(points: &[Vec2], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "CellGrid: cell size must be positive and finite"
+        );
+        if points.is_empty() {
+            return CellGrid {
+                cell: cell_size,
+                origin: Vec2::ZERO,
+                nx: 1,
+                ny: 1,
+                offsets: vec![0, 0],
+                items: Vec::new(),
+                points: Vec::new(),
+            };
+        }
+        let mut lo = points[0];
+        let mut hi = points[0];
+        for &p in points {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let nx = (((hi.x - lo.x) / cell_size).floor() as usize + 1).max(1);
+        let ny = (((hi.y - lo.y) / cell_size).floor() as usize + 1).max(1);
+        let ncells = nx * ny;
+
+        // Counting sort into cells.
+        let cell_of = |p: Vec2| -> usize {
+            let cx = (((p.x - lo.x) / cell_size) as usize).min(nx - 1);
+            let cy = (((p.y - lo.y) / cell_size) as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        let mut counts = vec![0u32; ncells + 1];
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        CellGrid {
+            cell: cell_size,
+            origin: lo,
+            nx,
+            ny,
+            offsets,
+            items,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Grid shape `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: Vec2) -> (usize, usize) {
+        let cx = (((p.x - self.origin.x) / self.cell) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.origin.y) / self.cell) as usize).min(self.ny - 1);
+        (cx, cy)
+    }
+
+    /// Calls `f(j, dist_sq)` for every indexed point `j ≠ exclude` within
+    /// `radius` (inclusive) of `query`.
+    ///
+    /// `exclude` is typically the queried particle's own index; pass
+    /// `usize::MAX` to exclude nothing.
+    pub fn for_neighbors(&self, query: Vec2, radius: f64, exclude: usize, mut f: impl FnMut(usize, f64)) {
+        debug_assert!(
+            radius <= self.cell * (1.0 + 1e-12),
+            "CellGrid: query radius {radius} exceeds cell size {}",
+            self.cell
+        );
+        if self.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        let (cx, cy) = self.cell_coords(query);
+        let x0 = cx.saturating_sub(1);
+        let x1 = (cx + 1).min(self.nx - 1);
+        let y0 = cy.saturating_sub(1);
+        let y1 = (cy + 1).min(self.ny - 1);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                let c = gy * self.nx + gx;
+                let lo = self.offsets[c] as usize;
+                let hi = self.offsets[c + 1] as usize;
+                for &j in &self.items[lo..hi] {
+                    let j = j as usize;
+                    if j == exclude {
+                        continue;
+                    }
+                    let d2 = self.points[j].dist_sq(query);
+                    if d2 <= r2 {
+                        f(j, d2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all unordered pairs `(i, j)`, `i < j`, within `radius`
+    /// (inclusive), in lexicographic order.
+    ///
+    /// Convenience wrapper for tests and diagnostics; the simulator's hot
+    /// loop uses [`CellGrid::for_neighbors`] per particle instead to
+    /// accumulate asymmetric per-type forces directly.
+    pub fn pairs_within(&self, radius: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            self.for_neighbors(self.points[i], radius, i, |j, _| {
+                if i < j {
+                    out.push((i, j));
+                }
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+
+    fn to_flat(points: &[Vec2]) -> Vec<f64> {
+        points.iter().flat_map(|p| [p.x, p.y]).collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = CellGrid::build(&[], 1.0);
+        assert!(g.is_empty());
+        let mut called = false;
+        g.for_neighbors(Vec2::ZERO, 1.0, usize::MAX, |_, _| called = true);
+        assert!(!called);
+        assert!(g.pairs_within(1.0).is_empty());
+    }
+
+    #[test]
+    fn single_cell_all_points() {
+        let pts = vec![Vec2::new(0.1, 0.1), Vec2::new(0.2, 0.2), Vec2::new(0.3, 0.3)];
+        let g = CellGrid::build(&pts, 10.0);
+        assert_eq!(g.shape(), (1, 1));
+        let mut found = Vec::new();
+        g.for_neighbors(pts[0], 10.0, 0, |j, _| found.push(j));
+        found.sort_unstable();
+        assert_eq!(found, vec![1, 2]);
+    }
+
+    #[test]
+    fn neighbor_search_respects_radius() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.5, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 0.9),
+        ];
+        let g = CellGrid::build(&pts, 1.0);
+        let mut found = Vec::new();
+        g.for_neighbors(pts[0], 1.0, 0, |j, d2| found.push((j, d2)));
+        found.sort_by_key(|a| a.0);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].0, 1);
+        assert_eq!(found[1].0, 3);
+    }
+
+    #[test]
+    fn pairs_match_brute_on_cluster() {
+        let pts: Vec<Vec2> = (0..40)
+            .map(|i| Vec2::new((i % 7) as f64 * 0.6, (i / 7) as f64 * 0.6))
+            .collect();
+        let g = CellGrid::build(&pts, 1.25);
+        assert_eq!(g.pairs_within(1.25), brute::pairs_within(2, &to_flat(&pts), 1.25));
+    }
+
+    #[test]
+    fn exclusion_skips_self_not_duplicates() {
+        // Two particles at the same location: the query for particle 0 must
+        // still see particle 1.
+        let pts = vec![Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.0)];
+        let g = CellGrid::build(&pts, 1.0);
+        let mut found = Vec::new();
+        g.for_neighbors(pts[0], 1.0, 0, |j, d2| found.push((j, d2)));
+        assert_eq!(found, vec![(1, 0.0)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pairs_match_brute(
+            coords in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 1..80),
+            radius in 0.1..5.0f64
+        ) {
+            let pts: Vec<Vec2> = coords.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+            let g = CellGrid::build(&pts, radius);
+            prop_assert_eq!(g.pairs_within(radius), brute::pairs_within(2, &to_flat(&pts), radius));
+        }
+
+        #[test]
+        fn neighbors_match_brute_counts(
+            coords in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..60),
+            radius in 0.1..3.0f64,
+            qi in 0..60usize
+        ) {
+            let pts: Vec<Vec2> = coords.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+            let qi = qi % pts.len();
+            let g = CellGrid::build(&pts, radius);
+            let mut count = 0;
+            g.for_neighbors(pts[qi], radius, qi, |_, _| count += 1);
+            // Brute count includes the query point itself (distance 0), so subtract 1.
+            let brute_count = brute::count_within_inclusive(2, &to_flat(&pts), &[pts[qi].x, pts[qi].y], radius) - 1;
+            prop_assert_eq!(count, brute_count);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Dynamic-dimension kd-tree.
+//!
+//! A classic median-split kd-tree over points stored in a flat `Vec<f64>`.
+//! Dimensions in this workspace are small (2 for particle positions, up to
+//! ~10 for coarse observer blocks), where kd-trees shine. Queries:
+//!
+//! * [`KdTree::nearest`] / [`KdTree::knn`] — used by ICP correspondences;
+//! * [`KdTree::count_within`] — the strict range count `cᵢ` of paper
+//!   Eq. 20 (one call per sample per observer inside the KSG estimator);
+//! * [`KdTree::range_indices`] — neighbourhood retrieval for diagnostics.
+//!
+//! The tree is immutable after construction; the simulator's per-step
+//! neighbour search uses [`crate::CellGrid`] instead, which is cheaper to
+//! rebuild every step.
+
+use crate::dist_sq;
+
+/// Maximum number of points in a leaf node; below this, linear scan beats
+/// further splitting (measured with the `kdtree` Criterion bench).
+const LEAF_SIZE: usize = 12;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Range into `KdTree::order`.
+        start: u32,
+        end: u32,
+    },
+    Split {
+        axis: u8,
+        value: f64,
+        /// Index of the right child in `KdTree::nodes`; the left child is
+        /// always `self + 1` (pre-order layout).
+        right: u32,
+    },
+}
+
+/// Immutable kd-tree over `n` points of dimension `dim`.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    points: Vec<f64>,
+    /// Permutation of point indices, partitioned recursively.
+    order: Vec<u32>,
+    nodes: Vec<Node>,
+}
+
+impl KdTree {
+    /// Builds a tree from `n * dim` coordinates in row-major layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `dim > 255`, or `points.len()` is not a
+    /// multiple of `dim`.
+    pub fn build(dim: usize, points: &[f64]) -> Self {
+        assert!(dim > 0 && dim <= 255, "KdTree: unsupported dimension {dim}");
+        assert_eq!(
+            points.len() % dim,
+            0,
+            "KdTree: coordinate count not a multiple of dim"
+        );
+        let n = points.len() / dim;
+        let mut tree = KdTree {
+            dim,
+            points: points.to_vec(),
+            order: (0..n as u32).collect(),
+            nodes: Vec::with_capacity(2 * (n / LEAF_SIZE + 1)),
+        };
+        if n > 0 {
+            tree.build_node(0, n);
+        }
+        tree
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len() / self.dim
+    }
+
+    /// `true` if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimension of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i` (original indexing).
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn build_node(&mut self, start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        if end - start <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return id;
+        }
+        // Pick the axis with the largest spread — better balance than
+        // cycling axes when the data is anisotropic (e.g. ring
+        // configurations from the F1 force law).
+        let axis = self.widest_axis(start, end);
+        let mid = start + (end - start) / 2;
+        let dim = self.dim;
+        let pts = &self.points;
+        self.order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            let va = pts[a as usize * dim + axis];
+            let vb = pts[b as usize * dim + axis];
+            va.partial_cmp(&vb).expect("KdTree: NaN coordinate")
+        });
+        let value = self.points[self.order[mid] as usize * dim + axis];
+        self.nodes.push(Node::Split {
+            axis: axis as u8,
+            value,
+            right: 0, // patched after the left subtree is built
+        });
+        let _left = self.build_node(start, mid);
+        let right = self.build_node(mid, end);
+        if let Node::Split { right: r, .. } = &mut self.nodes[id as usize] {
+            *r = right;
+        }
+        id
+    }
+
+    fn widest_axis(&self, start: usize, end: usize) -> usize {
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for &i in &self.order[start..end] {
+            let p = self.point(i as usize);
+            for d in 0..self.dim {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let mut best = 0;
+        let mut spread = -1.0;
+        for d in 0..self.dim {
+            let s = hi[d] - lo[d];
+            if s > spread {
+                spread = s;
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Index and squared distance of the nearest point to `query`,
+    /// excluding indices for which `skip` returns `true`.
+    pub fn nearest_excluding(
+        &self,
+        query: &[f64],
+        skip: impl Fn(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        assert_eq!(query.len(), self.dim);
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_rec(0, query, &skip, &mut best);
+        best
+    }
+
+    /// Index and squared distance of the nearest point to `query`.
+    pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
+        self.nearest_excluding(query, |_| false)
+    }
+
+    fn nearest_rec(
+        &self,
+        node: u32,
+        query: &[f64],
+        skip: &impl Fn(usize) -> bool,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[*start as usize..*end as usize] {
+                    let i = i as usize;
+                    if skip(i) {
+                        continue;
+                    }
+                    let d = dist_sq(self.point(i), query);
+                    if best.is_none_or(|(bi, bd)| d < bd || (d == bd && i < bi)) {
+                        *best = Some((i, d));
+                    }
+                }
+            }
+            Node::Split { axis, value, right } => {
+                let delta = query[*axis as usize] - value;
+                let (near, far) = if delta < 0.0 {
+                    (node + 1, *right)
+                } else {
+                    (*right, node + 1)
+                };
+                self.nearest_rec(near, query, skip, best);
+                if best.is_none_or(|(_, bd)| delta * delta < bd) {
+                    self.nearest_rec(far, query, skip, best);
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest points to `query`, sorted by ascending squared
+    /// distance (ties broken by index).
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.dim);
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Bounded max-heap on squared distance.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.knn_rec(0, query, k, &mut heap);
+        let mut out: Vec<(usize, f64)> = heap.into_iter().map(|(d, i)| (i, d)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn knn_rec(&self, node: u32, query: &[f64], k: usize, heap: &mut Vec<(f64, usize)>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[*start as usize..*end as usize] {
+                    let i = i as usize;
+                    let d = dist_sq(self.point(i), query);
+                    if heap.len() < k {
+                        heap.push((d, i));
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                    } else if d < heap[0].0 {
+                        heap[0] = (d, i);
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                    }
+                }
+            }
+            Node::Split { axis, value, right } => {
+                let delta = query[*axis as usize] - value;
+                let (near, far) = if delta < 0.0 {
+                    (node + 1, *right)
+                } else {
+                    (*right, node + 1)
+                };
+                self.knn_rec(near, query, k, heap);
+                if heap.len() < k || delta * delta < heap[0].0 {
+                    self.knn_rec(far, query, k, heap);
+                }
+            }
+        }
+    }
+
+    /// Number of points with distance to `query` strictly less than
+    /// `radius` (`strict = true`) or ≤ `radius` (`strict = false`).
+    ///
+    /// The strict variant is the count `cᵢ` of paper Eq. 20.
+    pub fn count_within(&self, query: &[f64], radius: f64, strict: bool) -> usize {
+        assert_eq!(query.len(), self.dim);
+        if self.is_empty() || radius < 0.0 {
+            return 0;
+        }
+        let r2 = radius * radius;
+        let mut count = 0;
+        self.count_rec(0, query, radius, r2, strict, &mut count);
+        count
+    }
+
+    fn count_rec(
+        &self,
+        node: u32,
+        query: &[f64],
+        radius: f64,
+        r2: f64,
+        strict: bool,
+        count: &mut usize,
+    ) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[*start as usize..*end as usize] {
+                    let d = dist_sq(self.point(i as usize), query);
+                    if if strict { d < r2 } else { d <= r2 } {
+                        *count += 1;
+                    }
+                }
+            }
+            Node::Split { axis, value, right } => {
+                let delta = query[*axis as usize] - value;
+                // Left subtree holds coordinates <= value; right >= value.
+                if delta - radius <= 0.0 {
+                    self.count_rec(node + 1, query, radius, r2, strict, count);
+                }
+                if delta + radius >= 0.0 {
+                    self.count_rec(*right, query, radius, r2, strict, count);
+                }
+            }
+        }
+    }
+
+    /// Indices of all points within `radius` of `query` (inclusive), in
+    /// ascending index order.
+    pub fn range_indices(&self, query: &[f64], radius: f64) -> Vec<usize> {
+        assert_eq!(query.len(), self.dim);
+        let mut out = Vec::new();
+        if self.is_empty() || radius < 0.0 {
+            return out;
+        }
+        let r2 = radius * radius;
+        self.range_rec(0, query, radius, r2, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn range_rec(&self, node: u32, query: &[f64], radius: f64, r2: f64, out: &mut Vec<usize>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[*start as usize..*end as usize] {
+                    if dist_sq(self.point(i as usize), query) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+            Node::Split { axis, value, right } => {
+                let delta = query[*axis as usize] - value;
+                if delta - radius <= 0.0 {
+                    self.range_rec(node + 1, query, radius, r2, out);
+                }
+                if delta + radius >= 0.0 {
+                    self.range_rec(*right, query, radius, r2, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+
+    fn grid_points(side: usize) -> Vec<f64> {
+        let mut pts = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                pts.push(i as f64);
+                pts.push(j as f64);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(2, &[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&[0.0, 0.0]).is_none());
+        assert!(t.knn(&[0.0, 0.0], 3).is_empty());
+        assert_eq!(t.count_within(&[0.0, 0.0], 1.0, true), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(3, &[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 1);
+        let (i, d) = t.nearest(&[1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_on_grid() {
+        let pts = grid_points(10);
+        let t = KdTree::build(2, &pts);
+        let (i, d) = t.nearest(&[3.2, 7.4]).unwrap();
+        assert_eq!(t.point(i), &[3.0, 7.0]);
+        assert!((d - (0.2f64 * 0.2 + 0.4 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_excluding_self_match() {
+        let pts = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let t = KdTree::build(2, &pts);
+        let (i, _) = t.nearest_excluding(&[0.0, 0.0], |i| i == 0).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn knn_matches_brute_on_grid() {
+        let pts = grid_points(8);
+        let t = KdTree::build(2, &pts);
+        for k in [1, 3, 7, 64, 100] {
+            let got = t.knn(&[2.7, 3.1], k);
+            let want = brute::knn(2, &pts, &[2.7, 3.1], k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "k={k}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_counted_individually() {
+        let pts = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let t = KdTree::build(2, &pts);
+        assert_eq!(t.count_within(&[1.0, 1.0], 0.5, true), 3);
+        let nn = t.knn(&[1.0, 1.0], 2);
+        assert_eq!(nn.len(), 2);
+    }
+
+    #[test]
+    fn strict_vs_inclusive_boundary() {
+        let pts = [0.0, 0.0, 1.0, 0.0];
+        let t = KdTree::build(2, &pts);
+        assert_eq!(t.count_within(&[0.0, 0.0], 1.0, true), 1);
+        assert_eq!(t.count_within(&[0.0, 0.0], 1.0, false), 2);
+    }
+
+    #[test]
+    fn range_indices_sorted_and_complete() {
+        let pts = grid_points(6);
+        let t = KdTree::build(2, &pts);
+        let got = t.range_indices(&[2.0, 2.0], 1.5);
+        let want: Vec<usize> = (0..pts.len() / 2)
+            .filter(|&i| crate::dist_sq(&pts[2 * i..2 * i + 2], &[2.0, 2.0]) <= 1.5 * 1.5)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn collinear_points() {
+        // Degenerate geometry: all on the x-axis.
+        let pts: Vec<f64> = (0..100).flat_map(|i| [i as f64, 0.0]).collect();
+        let t = KdTree::build(2, &pts);
+        let (i, _) = t.nearest(&[42.3, 0.0]).unwrap();
+        assert_eq!(i, 42);
+        assert_eq!(t.count_within(&[50.0, 0.0], 2.5, true), 5);
+    }
+
+    #[test]
+    fn higher_dimension_queries() {
+        // 4-D lattice corner points.
+        let mut pts = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    for d in 0..3 {
+                        pts.extend_from_slice(&[a as f64, b as f64, c as f64, d as f64]);
+                    }
+                }
+            }
+        }
+        let t = KdTree::build(4, &pts);
+        let q = [1.1, 0.9, 1.0, 1.0];
+        let got = t.knn(&q, 5);
+        let want = brute::knn(4, &pts, &q, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    prop_compose! {
+        fn arb_points(max_n: usize)(n in 1..max_n)(
+            coords in proptest::collection::vec(-50.0..50.0f64, n * 2)
+        ) -> Vec<f64> {
+            coords
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn nearest_matches_brute(pts in arb_points(120), qx in -60.0..60.0f64, qy in -60.0..60.0f64) {
+            let t = KdTree::build(2, &pts);
+            let got = t.nearest(&[qx, qy]).unwrap();
+            let want = brute::nearest(2, &pts, &[qx, qy]).unwrap();
+            prop_assert!((got.1 - want.1).abs() < 1e-9);
+        }
+
+        #[test]
+        fn knn_matches_brute(pts in arb_points(120), qx in -60.0..60.0f64, qy in -60.0..60.0f64, k in 1..20usize) {
+            let t = KdTree::build(2, &pts);
+            let got = t.knn(&[qx, qy], k);
+            let want = brute::knn(2, &pts, &[qx, qy], k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.1 - w.1).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn count_matches_brute(pts in arb_points(120), qx in -60.0..60.0f64, qy in -60.0..60.0f64, r in 0.0..80.0f64) {
+            let t = KdTree::build(2, &pts);
+            prop_assert_eq!(
+                t.count_within(&[qx, qy], r, true),
+                brute::count_within_strict(2, &pts, &[qx, qy], r)
+            );
+            prop_assert_eq!(
+                t.count_within(&[qx, qy], r, false),
+                brute::count_within_inclusive(2, &pts, &[qx, qy], r)
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Spatial indexing substrate.
+//!
+//! Three consumers in the workspace need neighbourhood queries:
+//!
+//! * the **simulator** sums forces over all particles within the cut-off
+//!   radius `r_c` (paper Eq. 6) — served by [`CellGrid`], a uniform-grid
+//!   neighbour list rebuilt per step in `O(n)`;
+//! * the **ICP alignment** (paper §5.2) needs nearest neighbours between
+//!   2-D point sets — served by [`KdTree`];
+//! * the **KSG estimator** (paper Eq. 18–20) needs per-variable strict
+//!   range counts and joint-space k-NN under a max-over-blocks metric —
+//!   served by [`KdTree::count_within`] per block and
+//!   [`block_max::knn_block_max`] for the joint search.
+//!
+//! [`brute`] holds the obviously-correct `O(n²)` references that the
+//! property tests compare against and that small inputs fall back to.
+
+pub mod brute;
+pub mod block_max;
+pub mod cellgrid;
+pub mod kdtree;
+
+pub use cellgrid::CellGrid;
+pub use kdtree::KdTree;
+
+/// Squared Euclidean distance between two equal-length coordinate slices.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_sq_basic() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist_sq(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Estimator comparison — reproduces the paper's §5.3 methodology notes.
+//!
+//! On analytic Gaussian ground truth:
+//! * the calibrated KSG variants track the truth closely and cheaply;
+//! * the literal Eq. 18–20 transcription carries a large positive bias
+//!   (why this library defaults to KSG1 — DESIGN.md #7);
+//! * the KDE baseline is orders of magnitude slower ("multiple orders of
+//!   magnitudes slower", §5.3);
+//! * the shrinkage binning baseline explodes in high dimension and
+//!   saturates ("overestimated the multi-information in higher
+//!   dimension ... almost no change in information could be seen", §5.3).
+//!
+//! ```text
+//! cargo run --release --example estimator_shootout
+//! ```
+
+use sops::info::binning::{multi_information_binned, BinningConfig};
+use sops::info::gaussian::{equicorrelated_cov, gaussian_multi_information, sample_gaussian};
+use sops::info::kde::{multi_information_kde, KdeConfig};
+use sops::info::{multi_information, KsgConfig, KsgVariant, SampleView};
+use std::time::Instant;
+
+fn main() {
+    let m = 800;
+    println!("m = {m} samples per case; truth from the Gaussian closed form\n");
+    for (label, d, rho) in [
+        ("2 observers, rho=0.6", 2usize, 0.6),
+        ("4 observers, rho=0.4", 4, 0.4),
+        ("10 observers, rho=0.3", 10, 0.3),
+    ] {
+        let cov = equicorrelated_cov(d, rho);
+        let truth = gaussian_multi_information(&cov, &vec![1; d]);
+        let data = sample_gaussian(&cov, m, 2012);
+        let sizes = vec![1usize; d];
+        let view = SampleView::new(&data, m, &sizes);
+
+        println!("== {label}: truth = {truth:.3} bits");
+        for variant in [KsgVariant::Ksg1, KsgVariant::Ksg2, KsgVariant::Paper] {
+            let t = Instant::now();
+            let est = multi_information(
+                &view,
+                &KsgConfig {
+                    k: 4,
+                    variant,
+                    threads: 0,
+                },
+            );
+            println!(
+                "  {variant:<14?} {est:>8.3} bits   (err {:+.3}, {:?})",
+                est - truth,
+                t.elapsed()
+            );
+        }
+        let t = Instant::now();
+        let kde = multi_information_kde(&view, &KdeConfig::default());
+        println!(
+            "  {:<14} {kde:>8.3} bits   (err {:+.3}, {:?})",
+            "KDE",
+            kde - truth,
+            t.elapsed()
+        );
+        let t = Instant::now();
+        let binned = multi_information_binned(&view, &BinningConfig::default());
+        println!(
+            "  {:<14} {binned:>8.3} bits   (err {:+.3}, {:?})",
+            "binning(JS)",
+            binned - truth,
+            t.elapsed()
+        );
+        println!();
+    }
+    println!(
+        "takeaways: KSG1/KSG2 are calibrated; the literal paper formula over-counts;\n\
+         KDE pays a large constant factor; binning saturates once the joint\n\
+         histogram goes sparse — matching every §5.3 claim."
+    );
+}

@@ -1,0 +1,69 @@
+//! Information flow between individual particles — the paper's §7.3
+//! future-work direction, implemented with transfer entropy.
+//!
+//! For a strongly coupled three-particle collective during its organizing
+//! transient, the past of a neighbour carries real information about a
+//! particle's future beyond its own past (positive transfer entropy).
+//! Decouple the particles (cut-off below their separation) and the flow
+//! vanishes.
+//!
+//! ```text
+//! cargo run --release --example information_flow
+//! ```
+
+use sops::core::dynamics::{particle_transfer_entropy, transfer_matrix, TransferConfig};
+use sops::prelude::*;
+
+fn ensemble(cutoff: f64) -> sops::sim::Ensemble {
+    let law = ForceModel::Linear(LinearForce::new(
+        PairMatrix::constant(1, 5.0),
+        PairMatrix::constant(1, 2.0),
+    ));
+    let spec = EnsembleSpec {
+        model: Model::balanced(3, law, cutoff),
+        integrator: IntegratorConfig::default(),
+        init_radius: 2.0,
+        t_max: 10,
+        samples: 800,
+        seed: 2012,
+        criterion: None,
+    };
+    run_ensemble(&spec, 0)
+}
+
+fn main() {
+    let cfg = TransferConfig {
+        lag: 3,
+        k: 4,
+        threads: 0,
+    };
+
+    println!("transfer entropy across 800 runs, T(b→a) = I(Z_a(t+3); Z_b(t) | Z_a(t))\n");
+
+    let coupled = ensemble(f64::INFINITY);
+    let te = particle_transfer_entropy(&coupled, 0, 1, 1, &cfg);
+    println!("coupled collective  : T(1→0) = {te:.3} bits");
+
+    let decoupled = ensemble(0.05);
+    let te0 = particle_transfer_entropy(&decoupled, 0, 1, 1, &cfg);
+    println!("decoupled (rc=0.05) : T(1→0) = {te0:.3} bits");
+
+    println!("\nfull pairwise transfer matrix of the coupled system at t = 1:");
+    let m = transfer_matrix(&coupled, 1, &cfg);
+    print!("        ");
+    for b in 0..m.len() {
+        print!("  from {b}");
+    }
+    println!();
+    for (a, row) in m.iter().enumerate() {
+        print!("  to {a} :");
+        for v in row {
+            print!(" {v:>7.3}");
+        }
+        println!();
+    }
+    println!(
+        "\ninteraction carries information (paper §7.3): every off-diagonal entry of\n\
+         the coupled system is positive, and all flow dies with the interactions."
+    );
+}

@@ -1,0 +1,61 @@
+//! Using the library as a *measurement instrument*: compare how much
+//! self-organization different interaction structures produce.
+//!
+//! Reruns the paper's central comparison (§6.1) on a small scale: the
+//! same 20 particles organize differently depending on (a) the cut-off
+//! radius and (b) the number of distinct types. Long-range interaction
+//! or few types ⇒ strong self-organization; short-range with all-distinct
+//! types ⇒ weak.
+//!
+//! ```text
+//! cargo run --release --example measure_self_organization
+//! ```
+
+use sops::prelude::*;
+use sops::sim::force::random_preferred_distances;
+
+fn measure(types: usize, cutoff: f64, seed: u64) -> f64 {
+    let r = random_preferred_distances(types, 2.0, 8.0, seed);
+    let law = ForceModel::Linear(LinearForce::new(PairMatrix::constant(types, 1.0), r));
+    let spec = EnsembleSpec {
+        model: Model::balanced(20, law, cutoff),
+        integrator: IntegratorConfig {
+            dt: 0.05,
+            substeps: 2,
+            noise_variance: 0.0025,
+            max_step: 0.5,
+            ..IntegratorConfig::default()
+        },
+        init_radius: 5.0,
+        t_max: 80,
+        samples: 100,
+        seed: seed ^ 0xABCD,
+        criterion: None,
+    };
+    let mut pipeline = Pipeline::new(spec);
+    pipeline.eval_every = 80; // endpoints only: ΔI
+    run_pipeline(&pipeline).mi.increase()
+}
+
+fn main() {
+    println!("self-organization ΔI (bits) of 20 particles, one random draw per cell\n");
+    println!("{:>12} {:>10} {:>10} {:>10}", "", "rc=5", "rc=15", "rc=inf");
+    for &types in &[5usize, 20] {
+        let row: Vec<f64> = [5.0, 15.0, f64::INFINITY]
+            .iter()
+            .map(|&rc| measure(types, rc, 1000 + types as u64))
+            .collect();
+        println!(
+            "{:>12} {:>10.2} {:>10.2} {:>10.2}",
+            format!("l={types}"),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "\nreading: ΔI grows with the interaction radius (information must spread\n\
+         to organize, §7.2), and fewer types organize more under local limits\n\
+         because same-type clusters restore long-range structural interaction."
+    );
+}

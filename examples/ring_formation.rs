@@ -1,0 +1,79 @@
+//! Ring formation in a single-type collective (the Figs. 5 & 7 system).
+//!
+//! With the F1 law and an unbounded cut-off, 20 identical particles
+//! settle into two concentric regular polygons. The outer ring aligns
+//! tightly across independent runs, while the inner ring's rotation
+//! stays a genuine degree of freedom — visible in the per-particle
+//! cross-sample dispersion after shape reduction.
+//!
+//! ```text
+//! cargo run --release --example ring_formation
+//! ```
+
+use sops::core::{metrics, report};
+use sops::prelude::*;
+use sops::shape::ensemble::{reduce_configurations, ReduceConfig};
+
+fn main() {
+    let law = ForceModel::Linear(LinearForce::uniform(1.0, 2.0));
+    let model = Model::balanced(20, law, f64::INFINITY);
+    let types = model.types().to_vec();
+    let integrator = IntegratorConfig {
+        dt: 0.02,
+        substeps: 2,
+        noise_variance: 0.0025,
+        max_step: 0.5,
+        ..IntegratorConfig::default()
+    };
+
+    // Watch one run form its rings.
+    let mut sim = Simulation::with_disc_init(model.clone(), integrator, 4.0, 3);
+    let traj = sim.run(250, None);
+    let final_cfg = traj.last().to_vec();
+    println!(
+        "{}",
+        report::scatter_plot("single run at t = 250", &final_cfg, &types, 48, 18)
+    );
+    let rings = metrics::ring_decomposition(&final_cfg, 4.0);
+    println!("detected radial rings (innermost first):");
+    for ring in &rings {
+        println!(
+            "  {} particles at mean radius {:.2}",
+            ring.len(),
+            metrics::ring_radius(&final_cfg, ring)
+        );
+    }
+
+    // Ensemble: align all final configurations and measure which ring
+    // pins down the shape.
+    let spec = EnsembleSpec {
+        model,
+        integrator,
+        init_radius: 4.0,
+        t_max: 250,
+        samples: 150,
+        seed: 5,
+        criterion: None,
+    };
+    let ensemble = run_ensemble(&spec, 0);
+    let slice = ensemble.at_time(250);
+    let reduced = reduce_configurations(&slice, &types, &ReduceConfig::default());
+    let dispersion = metrics::cross_sample_dispersion(&reduced.configs);
+
+    let reference = &reduced.configs[0];
+    let rings = metrics::ring_decomposition(reference, 4.0);
+    println!("\ncross-sample dispersion per ring (after ICP alignment):");
+    for ring in &rings {
+        let mean_disp: f64 = ring.iter().map(|&i| dispersion[i]).sum::<f64>() / ring.len() as f64;
+        println!(
+            "  radius {:.2}: dispersion {:.3} ({} particles)",
+            metrics::ring_radius(reference, ring),
+            mean_disp,
+            ring.len()
+        );
+    }
+    println!(
+        "\nthe outer ring anchors the alignment; the inner ring's rotation is a free\n\
+         degree of freedom — exactly the structure the paper's Fig. 7 overlay shows."
+    );
+}

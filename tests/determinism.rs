@@ -1,0 +1,82 @@
+//! End-to-end determinism: the full pipeline must be bit-reproducible in
+//! its seed and independent of thread scheduling — the property that
+//! makes every number in EXPERIMENTS.md regenerable.
+
+use sops::prelude::*;
+
+fn spec(seed: u64) -> EnsembleSpec {
+    let k = PairMatrix::constant(3, 1.0);
+    let r = PairMatrix::from_full(3, &[2.5, 5.0, 4.0, 5.0, 2.5, 2.0, 4.0, 2.0, 3.5]);
+    EnsembleSpec {
+        model: Model::balanced(12, ForceModel::Linear(LinearForce::new(k, r)), 5.0),
+        integrator: IntegratorConfig::default(),
+        init_radius: 3.0,
+        t_max: 25,
+        samples: 50,
+        seed,
+        criterion: None,
+    }
+}
+
+#[test]
+fn pipeline_bitwise_reproducible() {
+    let mut p = Pipeline::new(spec(2024));
+    p.eval_every = 5;
+    let a = run_pipeline(&p);
+    let b = run_pipeline(&p);
+    assert_eq!(a.mi.times, b.mi.times);
+    for (x, y) in a.mi.values.iter().zip(&b.mi.values) {
+        assert_eq!(x.to_bits(), y.to_bits(), "bitwise identical estimates");
+    }
+}
+
+#[test]
+fn pipeline_independent_of_thread_count() {
+    let mut p1 = Pipeline::new(spec(7));
+    p1.eval_every = 5;
+    p1.threads = 1;
+    let mut p8 = p1.clone();
+    p8.threads = 8;
+    let a = run_pipeline(&p1);
+    let b = run_pipeline(&p8);
+    for (x, y) in a.mi.values.iter().zip(&b.mi.values) {
+        assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_but_similar_results() {
+    let mut p1 = Pipeline::new(spec(1));
+    p1.eval_every = 25;
+    let mut p2 = Pipeline::new(spec(2));
+    p2.eval_every = 25;
+    let a = run_pipeline(&p1);
+    let b = run_pipeline(&p2);
+    // Different realizations...
+    assert_ne!(a.mi.values, b.mi.values);
+    // ...of the same physics: both organize.
+    assert!(a.mi.increase() > 0.3, "{:?}", a.mi.values);
+    assert!(b.mi.increase() > 0.3, "{:?}", b.mi.values);
+}
+
+#[test]
+fn ensembles_reproducible_across_thread_counts() {
+    let e1 = run_ensemble(&spec(55), 1);
+    let e8 = run_ensemble(&spec(55), 8);
+    for (a, b) in e1.runs.iter().zip(&e8.runs) {
+        assert_eq!(a.frames, b.frames, "trajectories must be identical");
+        assert_eq!(a.force_norms, b.force_norms);
+    }
+}
+
+#[test]
+fn environment_thread_override_is_respected() {
+    // SOPS_THREADS only affects scheduling, never results.
+    std::env::set_var("SOPS_THREADS", "2");
+    let a = run_ensemble(&spec(3), 0);
+    std::env::remove_var("SOPS_THREADS");
+    let b = run_ensemble(&spec(3), 4);
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(x.frames, y.frames);
+    }
+}

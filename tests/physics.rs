@@ -1,0 +1,184 @@
+//! Physical sanity of the particle model across crates: conservation
+//! properties, analytic two-body equilibria, equilibrium detection, and
+//! the qualitative behaviours §6 builds on.
+
+use sops::prelude::*;
+use sops::sim::force::ForceLaw;
+
+#[test]
+fn newtons_third_law_holds_for_symmetric_interactions() {
+    // Total drift force of an isolated system vanishes (the paper's
+    // symmetric matrices make pair forces equal and opposite), so the
+    // centroid is preserved by the deterministic dynamics.
+    let k = PairMatrix::constant(2, 2.0);
+    let mut r = PairMatrix::constant(2, 1.0);
+    r.set(0, 1, 2.0);
+    let model = Model::balanced(9, ForceModel::Linear(LinearForce::new(k, r)), f64::INFINITY);
+    let mut sim = Simulation::with_disc_init(
+        model.clone(),
+        IntegratorConfig::default().deterministic(),
+        2.0,
+        3,
+    );
+    let c0 = Vec2::centroid(sim.positions());
+    for _ in 0..200 {
+        sim.step();
+    }
+    let c1 = Vec2::centroid(sim.positions());
+    assert!(
+        c0.dist(c1) < 1e-6,
+        "centroid drifted {c0:?} -> {c1:?} without noise"
+    );
+}
+
+#[test]
+fn two_body_equilibrium_at_preferred_distance_any_type_pair() {
+    // Cross-type pair must settle exactly at r_{01}.
+    let k = PairMatrix::constant(2, 1.5);
+    let mut r = PairMatrix::constant(2, 1.0);
+    r.set(0, 1, 3.0);
+    let model = Model::new(
+        vec![0, 1],
+        ForceModel::Linear(LinearForce::new(k, r)),
+        f64::INFINITY,
+    );
+    let mut sim = Simulation::from_initial(
+        model,
+        IntegratorConfig::default().deterministic(),
+        vec![Vec2::new(-0.6, 0.0), Vec2::new(0.6, 0.0)],
+        0,
+    );
+    for _ in 0..2000 {
+        sim.step();
+    }
+    let sep = sim.positions()[0].dist(sim.positions()[1]);
+    assert!((sep - 3.0).abs() < 1e-3, "separation {sep}, want 3.0");
+}
+
+#[test]
+fn gaussian_collective_expands_monotonically() {
+    // F2 is soft repulsion: the radius of gyration grows from a crowded
+    // start (the "still slowly expanding" observation of §6).
+    let law = ForceModel::Gaussian(GaussianForce::uniform(3.0, 4.0));
+    let model = Model::balanced(20, law, f64::INFINITY);
+    let mut sim = Simulation::with_disc_init(
+        model,
+        IntegratorConfig::default().deterministic(),
+        1.0,
+        5,
+    );
+    let rg = |pos: &[Vec2]| {
+        let c = Vec2::centroid(pos);
+        (pos.iter().map(|p| p.dist_sq(c)).sum::<f64>() / pos.len() as f64).sqrt()
+    };
+    let mut last = rg(sim.positions());
+    for _ in 0..5 {
+        for _ in 0..40 {
+            sim.step();
+        }
+        let now = rg(sim.positions());
+        assert!(now >= last - 1e-9, "collective must not contract: {last} -> {now}");
+        last = now;
+    }
+}
+
+#[test]
+fn cutoff_decouples_distant_clusters() {
+    // Two pairs far beyond the cut-off evolve as independent two-body
+    // systems; their centroids stay put deterministically.
+    let law = ForceModel::Linear(LinearForce::uniform(1.0, 1.0));
+    let model = Model::new(vec![0, 0, 0, 0], law, 3.0);
+    let initial = vec![
+        Vec2::new(-50.0, 0.0),
+        Vec2::new(-48.0, 0.0),
+        Vec2::new(50.0, 0.0),
+        Vec2::new(48.5, 0.0),
+    ];
+    let mut sim = Simulation::from_initial(
+        model,
+        IntegratorConfig::default().deterministic(),
+        initial,
+        0,
+    );
+    for _ in 0..500 {
+        sim.step();
+    }
+    let pos = sim.positions();
+    // Left pair settled at separation 1, centred at -49.
+    assert!((pos[0].dist(pos[1]) - 1.0).abs() < 1e-3);
+    assert!((Vec2::centroid(&pos[0..2]).x + 49.0).abs() < 1e-6);
+    // Right pair likewise, independently.
+    assert!((pos[2].dist(pos[3]) - 1.0).abs() < 1e-3);
+    assert!((Vec2::centroid(&pos[2..4]).x - 49.25).abs() < 1e-6);
+}
+
+#[test]
+fn asymmetric_interactions_are_rejected_by_pairmatrix() {
+    // §4.1 considers only symmetric matrices (asymmetric preferences are
+    // unstable); the type system enforces this at construction.
+    let result = std::panic::catch_unwind(|| {
+        PairMatrix::from_full(2, &[1.0, 2.0, 3.0, 1.0])
+    });
+    assert!(result.is_err(), "asymmetric matrix must be rejected");
+}
+
+#[test]
+fn equilibrium_detection_matches_force_freeze() {
+    let law = ForceModel::Linear(LinearForce::uniform(1.0, 1.0));
+    let model = Model::balanced(6, law, f64::INFINITY);
+    let mut sim = Simulation::with_disc_init(
+        model.clone(),
+        IntegratorConfig::default().deterministic(),
+        1.5,
+        9,
+    );
+    let criterion = EquilibriumCriterion {
+        threshold: 1e-4,
+        patience: 5,
+    };
+    let (steps, reached) = sim.run_to_equilibrium(criterion, 5000);
+    assert!(reached, "deterministic attracting system equilibrates");
+    assert!(steps < 5000);
+    assert!(model.total_force_norm(sim.positions()) < 1e-4);
+}
+
+#[test]
+fn noise_level_sets_equilibrium_jitter_scale() {
+    // With noise, positions fluctuate around equilibrium; the drift force
+    // fluctuation should scale with the noise amplitude.
+    let measure = |variance: f64| -> f64 {
+        let law = ForceModel::Linear(LinearForce::uniform(1.0, 1.0));
+        let model = Model::balanced(6, law, f64::INFINITY);
+        let cfg = IntegratorConfig {
+            noise_variance: variance,
+            ..IntegratorConfig::default()
+        };
+        let mut sim = Simulation::with_disc_init(model.clone(), cfg, 1.5, 11);
+        for _ in 0..600 {
+            sim.step();
+        }
+        // Average late-time force norm.
+        let mut acc = 0.0;
+        for _ in 0..100 {
+            acc += sim.step();
+        }
+        acc / 100.0
+    };
+    let quiet = measure(0.0025);
+    let loud = measure(0.25);
+    assert!(
+        loud > 3.0 * quiet,
+        "10x noise std should raise residual forces: quiet {quiet}, loud {loud}"
+    );
+}
+
+#[test]
+fn f1_preferred_distance_is_a_stable_fixed_point() {
+    // Perturb a pair slightly off r and verify restoring drift on both
+    // sides — the defining property of the preferred distance.
+    let law = LinearForce::uniform(1.0, 2.0);
+    let below = law.scale(0, 0, 1.8);
+    let above = law.scale(0, 0, 2.2);
+    assert!(below < 0.0, "compressed pair must repel");
+    assert!(above > 0.0, "stretched pair must attract");
+}
