@@ -73,10 +73,7 @@ pub fn kmeans(points: &[Vec2], cfg: &KMeansConfig, seed: u64) -> KMeans {
     for restart in 0..cfg.restarts.max(1) {
         let mut rng = SplitMix64::new(sops_math::rng::derive_seed(seed, restart as u64));
         let candidate = lloyd(points, k, cfg, &mut rng);
-        if best
-            .as_ref()
-            .is_none_or(|b| candidate.inertia < b.inertia)
-        {
+        if best.as_ref().is_none_or(|b| candidate.inertia < b.inertia) {
             best = Some(candidate);
         }
     }
@@ -146,10 +143,7 @@ fn lloyd(points: &[Vec2], k: usize, cfg: &KMeansConfig, rng: &mut SplitMix64) ->
 fn plus_plus_init(points: &[Vec2], k: usize, rng: &mut SplitMix64) -> Vec<Vec2> {
     let mut centers = Vec::with_capacity(k);
     centers.push(points[rng.next_below(points.len() as u64) as usize]);
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|&p| p.dist_sq(centers[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|&p| p.dist_sq(centers[0])).collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -400,7 +394,11 @@ mod tests {
 
     #[test]
     fn per_type_means_pads_small_types() {
-        let pts = vec![Vec2::new(1.0, 2.0), Vec2::new(5.0, 5.0), Vec2::new(5.5, 5.0)];
+        let pts = vec![
+            Vec2::new(1.0, 2.0),
+            Vec2::new(5.0, 5.0),
+            Vec2::new(5.5, 5.0),
+        ];
         let types = vec![0u16, 1, 1];
         let obs = per_type_means(&pts, &types, 2, 2, &KMeansConfig::default(), 3);
         assert_eq!(obs.len(), 4);

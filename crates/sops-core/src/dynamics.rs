@@ -111,11 +111,7 @@ pub fn transfer_matrix(ensemble: &Ensemble, t: usize, cfg: &TransferConfig) -> V
 pub fn net_flow(matrix: &[Vec<f64>]) -> Vec<f64> {
     let n = matrix.len();
     (0..n)
-        .map(|a| {
-            (0..n)
-                .map(|b| matrix[a][b] - matrix[b][a])
-                .sum::<f64>()
-        })
+        .map(|a| (0..n).map(|b| matrix[a][b] - matrix[b][a]).sum::<f64>())
         .collect()
 }
 

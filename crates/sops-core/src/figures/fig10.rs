@@ -71,7 +71,9 @@ impl Fig10Data {
     pub fn final_value(&self, types: usize, cutoff: f64) -> Option<f64> {
         self.combos
             .iter()
-            .position(|&(l, rc)| l == types && (rc == cutoff || (!rc.is_finite() && !cutoff.is_finite())))
+            .position(|&(l, rc)| {
+                l == types && (rc == cutoff || (!rc.is_finite() && !cutoff.is_finite()))
+            })
             .map(|i| self.curves[i].final_value())
     }
 

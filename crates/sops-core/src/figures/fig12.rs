@@ -130,7 +130,10 @@ impl Fig12Data {
             println!(
                 "{}",
                 report::scatter_plot(
-                    &format!("  {} — radial stratification {:.2}", p.label, p.stratification),
+                    &format!(
+                        "  {} — radial stratification {:.2}",
+                        p.label, p.stratification
+                    ),
                     &p.config,
                     &p.types,
                     56,

@@ -35,7 +35,10 @@ pub fn run(opts: &RunOptions) -> Fig2Data {
     );
     let steps = opts.scale(400, 100);
     let x: Vec<f64> = (1..=steps).map(|i| 6.0 * i as f64 / steps as f64).collect();
-    let f1: Vec<f64> = x.iter().map(|&v| lin.scale(0, 0, v).clamp(-3.0, 3.0)).collect();
+    let f1: Vec<f64> = x
+        .iter()
+        .map(|&v| lin.scale(0, 0, v).clamp(-3.0, 3.0))
+        .collect();
     let f2: Vec<f64> = x.iter().map(|&v| gau.scale(0, 0, v)).collect();
     let data = Fig2Data {
         x,
@@ -61,7 +64,10 @@ impl Fig2Data {
     pub fn print(&self) {
         let s1 = Series::from_xy("F1 (k=1, r=2, clamped to ±3)", &self.x, &self.f1);
         let s2 = Series::from_xy("F2 (k=1, sigma=1, tau=r^2/2)", &self.x, &self.f2);
-        println!("{}", report::line_chart("Fig 2 — force-scaling functions", &[s1, s2], 64, 18));
+        println!(
+            "{}",
+            report::line_chart("Fig 2 — force-scaling functions", &[s1, s2], 64, 18)
+        );
         // Structural checks mirrored in EXPERIMENTS.md.
         let zero_crossing = self
             .x
@@ -75,7 +81,9 @@ impl Fig2Data {
             self.preferred_distance, self.cutoff
         );
         let f2_max_mag = self.f2.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-        println!("  F2 ≤ 0 everywhere (soft finite-range repulsion), peak magnitude {f2_max_mag:.3}");
+        println!(
+            "  F2 ≤ 0 everywhere (soft finite-range repulsion), peak magnitude {f2_max_mag:.3}"
+        );
     }
 }
 

@@ -51,7 +51,13 @@ pub fn run(opts: &RunOptions) -> Fig3Data {
         .map(|&l| {
             // Gaussian (F2) law: same-type range 2, cross-type ranges
             // spread out so types separate.
-            let r = PairMatrix::from_fn(l, |a, b| if a == b { 2.0 } else { 3.0 + (a + b) as f64 * 0.5 });
+            let r = PairMatrix::from_fn(l, |a, b| {
+                if a == b {
+                    2.0
+                } else {
+                    3.0 + (a + b) as f64 * 0.5
+                }
+            });
             let law = ForceModel::Gaussian(GaussianForce::from_preferred_distance(
                 PairMatrix::constant(l, 3.0),
                 &r,

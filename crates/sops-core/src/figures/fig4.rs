@@ -109,7 +109,12 @@ impl Fig4Data {
         let s = Series::from_xy("I(W1..Wn) [bits]", &xs, &self.mi.values);
         println!(
             "{}",
-            report::line_chart("Fig 4 — multi-information vs time (n=50, l=3, rc=5)", &[s], 64, 16)
+            report::line_chart(
+                "Fig 4 — multi-information vs time (n=50, l=3, rc=5)",
+                &[s],
+                64,
+                16
+            )
         );
         println!(
             "  increase ΔI = {:.2} bits over the run (paper: ≈2 → ≈10 bits)",
@@ -118,7 +123,13 @@ impl Fig4Data {
         for (t, cfg) in &self.snapshots {
             println!(
                 "{}",
-                report::scatter_plot(&format!("  sample snapshot t = {t}"), cfg, &self.types, 48, 14)
+                report::scatter_plot(
+                    &format!("  sample snapshot t = {t}"),
+                    cfg,
+                    &self.types,
+                    48,
+                    14
+                )
             );
         }
     }

@@ -52,7 +52,10 @@ pub fn run(opts: &RunOptions) -> Fig6Data {
     }
 
     let finals: Vec<&Vec<Vec2>> = ensemble.runs.iter().map(|r| &r.frames[t_end]).collect();
-    let rgs: Vec<f64> = finals.iter().map(|c| metrics::radius_of_gyration(c)).collect();
+    let rgs: Vec<f64> = finals
+        .iter()
+        .map(|c| metrics::radius_of_gyration(c))
+        .collect();
     let seps: Vec<f64> = finals
         .iter()
         .map(|c| metrics::type_separation(c, &types, 3))
@@ -78,8 +81,12 @@ pub fn run(opts: &RunOptions) -> Fig6Data {
             .enumerate()
             .map(|(s, (&rg, &sep))| vec![s as f64, rg, sep])
             .collect();
-        report::write_csv(&path, &["sample", "radius_of_gyration", "type_separation"], &rows)
-            .expect("fig6 csv");
+        report::write_csv(
+            &path,
+            &["sample", "radius_of_gyration", "type_separation"],
+            &rows,
+        )
+        .expect("fig6 csv");
     }
     data
 }

@@ -49,8 +49,7 @@ pub fn run(opts: &RunOptions) -> Fig7Data {
         .iter()
         .map(|ring| {
             let radius = metrics::ring_radius(reference, ring);
-            let mean_disp =
-                ring.iter().map(|&i| dispersion[i]).sum::<f64>() / ring.len() as f64;
+            let mean_disp = ring.iter().map(|&i| dispersion[i]).sum::<f64>() / ring.len() as f64;
             (radius, mean_disp, ring.len())
         })
         .collect();
@@ -66,8 +65,7 @@ pub fn run(opts: &RunOptions) -> Fig7Data {
             .zip(&data.dispersion)
             .map(|(p, &d)| vec![p.norm(), d])
             .collect();
-        report::write_csv(&path, &["radius", "cross_sample_dispersion"], &rows)
-            .expect("fig7 csv");
+        report::write_csv(&path, &["radius", "cross_sample_dispersion"], &rows).expect("fig7 csv");
     }
     data
 }
@@ -109,7 +107,11 @@ mod tests {
             fast: true,
             ..RunOptions::default()
         });
-        assert!(data.rings.len() >= 2, "two-ring structure expected: {:?}", data.rings);
+        assert!(
+            data.rings.len() >= 2,
+            "two-ring structure expected: {:?}",
+            data.rings
+        );
         let inner = data.rings.first().unwrap();
         let outer = data.rings.last().unwrap();
         assert!(

@@ -107,7 +107,11 @@ impl Fig8Data {
             println!("    l = {l:2}: ΔI = {di:.3} ± {sd:.3} bits");
         }
         let trend = stats::ols_slope(
-            &self.type_counts.iter().map(|&l| l as f64).collect::<Vec<_>>(),
+            &self
+                .type_counts
+                .iter()
+                .map(|&l| l as f64)
+                .collect::<Vec<_>>(),
             &self.delta_i,
         );
         println!("  trend slope {trend:.3} bits/type (paper: decreasing)");

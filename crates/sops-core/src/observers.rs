@@ -87,14 +87,8 @@ pub fn build_observers(
                 // Same seed for every sample: clustering must be a
                 // deterministic function of the configuration alone so
                 // that observers are comparable across samples.
-                let means: Vec<Vec2> = sops_cluster::per_type_means(
-                    cfg,
-                    types,
-                    type_count,
-                    k_per_type,
-                    &km_cfg,
-                    seed,
-                );
+                let means: Vec<Vec2> =
+                    sops_cluster::per_type_means(cfg, types, type_count, k_per_type, &km_cfg, seed);
                 for m in means {
                     data.push(m.x);
                     data.push(m.y);

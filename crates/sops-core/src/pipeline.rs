@@ -81,7 +81,10 @@ impl MiSeries {
 
     /// Largest value of the series.
     pub fn max(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

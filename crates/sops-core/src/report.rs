@@ -16,11 +16,7 @@ use std::path::Path;
 /// Creates parent directories as needed. Numbers are written with enough
 /// precision to round-trip (`{:.12e}` would be unreadable; `{:.9}` is
 /// plenty for plotting).
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<f64>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -118,13 +114,14 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
         "{y_min:>10.3} ┤{}",
         String::from_iter(&canvas[height - 1])
     );
+    let _ = writeln!(out, "{:>10} └{}", "", "─".repeat(width));
     let _ = writeln!(
         out,
-        "{:>10} └{}",
+        "{:>11}{x_min:<12.2}{:>width$.2}",
         "",
-        "─".repeat(width)
+        x_max,
+        width = width.saturating_sub(12)
     );
-    let _ = writeln!(out, "{:>11}{x_min:<12.2}{:>width$.2}", "", x_max, width = width.saturating_sub(12));
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "    {} {}", GLYPHS[si % GLYPHS.len()], s.label);
     }
@@ -158,8 +155,7 @@ pub fn scatter_plot(
     for (p, &t) in points.iter().zip(types) {
         let cx = ((p.x - lo.x) / span_x * (width - 1) as f64).round() as usize;
         let cy = ((p.y - lo.y) / span_y * (height - 1) as f64).round() as usize;
-        canvas[height - 1 - cy][cx.min(width - 1)] =
-            char::from_digit((t % 10) as u32, 10).unwrap();
+        canvas[height - 1 - cy][cx.min(width - 1)] = char::from_digit((t % 10) as u32, 10).unwrap();
     }
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
@@ -187,12 +183,7 @@ mod tests {
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("sops_report_test");
         let path = dir.join("series.csv");
-        write_csv(
-            &path,
-            &["t", "mi"],
-            &[vec![0.0, 1.5], vec![10.0, f64::NAN]],
-        )
-        .unwrap();
+        write_csv(&path, &["t", "mi"], &[vec![0.0, 1.5], vec![10.0, f64::NAN]]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines = text.lines();
         assert_eq!(lines.next(), Some("t,mi"));

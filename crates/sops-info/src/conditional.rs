@@ -149,10 +149,7 @@ pub fn transfer_entropy(
 ///
 /// `cov` must be ordered as (X-dims, Y-dims, Z-dims). Test/validation
 /// helper.
-pub fn gaussian_conditional_mi(
-    cov: &sops_math::Matrix,
-    dims: (usize, usize, usize),
-) -> f64 {
+pub fn gaussian_conditional_mi(cov: &sops_math::Matrix, dims: (usize, usize, usize)) -> f64 {
     let (dx, dy, dz) = dims;
     let d = dx + dy + dz;
     assert_eq!(cov.rows(), d);
@@ -171,7 +168,11 @@ pub fn gaussian_conditional_mi(
     let xz: Vec<usize> = xs.iter().chain(&zs).copied().collect();
     let yz: Vec<usize> = ys.iter().chain(&zs).copied().collect();
     let all: Vec<usize> = (0..d).collect();
-    let ld = |idx: &[usize]| sub(idx).ln_det_spd().expect("gaussian_conditional_mi: not SPD");
+    let ld = |idx: &[usize]| {
+        sub(idx)
+            .ln_det_spd()
+            .expect("gaussian_conditional_mi: not SPD")
+    };
     let nats = 0.5 * (ld(&xz) + ld(&yz) - ld(&zs) - ld(&all));
     nats * NATS_TO_BITS
 }
@@ -200,7 +201,8 @@ mod tests {
     #[test]
     fn cmi_vanishes_for_conditionally_independent_data() {
         let (x, y, z) = common_cause_samples(1200, 3);
-        let cmi = conditional_mutual_information(&x, &y, &z, 1200, (1, 1, 1), &CmiConfig::default());
+        let cmi =
+            conditional_mutual_information(&x, &y, &z, 1200, (1, 1, 1), &CmiConfig::default());
         assert!(cmi.abs() < 0.1, "X⊥Y|Z must give ~0, got {cmi}");
         // Whereas the unconditional MI is clearly positive.
         let mi = crate::ksg::mutual_information(&x, &y, 1200, 1, 1, &crate::KsgConfig::default());
@@ -305,9 +307,11 @@ mod tests {
                 0.7 * z1 + 0.5 * rng.next_standard_normal(),
             ]);
         }
-        let cmi =
-            conditional_mutual_information(&x, &y, &z, m, (2, 2, 2), &CmiConfig::default());
-        assert!(cmi.abs() < 0.15, "conditionally independent 2-D blocks: {cmi}");
+        let cmi = conditional_mutual_information(&x, &y, &z, m, (2, 2, 2), &CmiConfig::default());
+        assert!(
+            cmi.abs() < 0.15,
+            "conditionally independent 2-D blocks: {cmi}"
+        );
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn mutual_information_from_counts(rows: usize, cols: usize, joint: &[u64]) -
             col_margin[c] += joint[r * cols + c];
         }
     }
-    entropy_from_counts(&row_margin) + entropy_from_counts(&col_margin)
-        - entropy_from_counts(joint)
+    entropy_from_counts(&row_margin) + entropy_from_counts(&col_margin) - entropy_from_counts(joint)
 }
 
 /// Multi-information in bits of jointly observed discrete variables:

@@ -156,10 +156,7 @@ mod tests {
         let est = multi_information_kde(&view, &KdeConfig::default());
         let truth = bivariate_gaussian_mi(rho);
         // KDE carries more bias than KSG — the paper's point; accept ±0.25.
-        assert!(
-            (est - truth).abs() < 0.25,
-            "KDE est {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.25, "KDE est {est} vs truth {truth}");
     }
 
     #[test]

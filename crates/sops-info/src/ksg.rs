@@ -133,10 +133,7 @@ pub fn multi_information(view: &SampleView<'_>, cfg: &KsgConfig) -> f64 {
         || 0.0f64,
         |acc, i| {
             let neighbours = knn_block_max(&points, i, cfg.k);
-            let kth = neighbours
-                .last()
-                .expect("KSG: k-th neighbour must exist")
-                .0;
+            let kth = neighbours.last().expect("KSG: k-th neighbour must exist").0;
             let mut local = 0.0;
             match cfg.variant {
                 KsgVariant::Paper => {
@@ -149,7 +146,10 @@ pub fn multi_information(view: &SampleView<'_>, cfg: &KsgConfig) -> f64 {
                         // removes it. Clamped at 1: a zero count occurs
                         // when the k-th neighbour's block coincides with
                         // the nearest, where ψ would diverge.
-                        let c = tree.count_within(q, radii[b], true).saturating_sub(1).max(1);
+                        let c = tree
+                            .count_within(q, radii[b], true)
+                            .saturating_sub(1)
+                            .max(1);
                         local += digamma(c as f64);
                     }
                 }
@@ -263,7 +263,10 @@ mod tests {
         let bias2 = estimate_on_gaussian(&Matrix::identity(2), &[1, 1], KsgVariant::Paper);
         let bias4 = estimate_on_gaussian(&Matrix::identity(4), &[1, 1, 1, 1], KsgVariant::Paper);
         assert!(bias2 > 0.5, "n=2 bias {bias2}");
-        assert!(bias4 > bias2 + 0.5, "bias must grow with n: {bias2} -> {bias4}");
+        assert!(
+            bias4 > bias2 + 0.5,
+            "bias must grow with n: {bias2} -> {bias4}"
+        );
     }
 
     #[test]
@@ -286,10 +289,7 @@ mod tests {
         let cov = equicorrelated_cov(3, 0.6);
         let truth = gaussian_multi_information(&cov, &[1, 1, 1]);
         let est = estimate_on_gaussian(&cov, &[1, 1, 1], KsgVariant::Ksg1);
-        assert!(
-            (est - truth).abs() < 0.2,
-            "est {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.2, "est {est} vs truth {truth}");
     }
 
     #[test]
@@ -301,10 +301,7 @@ mod tests {
         cov[(2, 0)] = 0.7;
         let truth = gaussian_multi_information(&cov, &[2, 2]);
         let est = estimate_on_gaussian(&cov, &[2, 2], KsgVariant::Ksg1);
-        assert!(
-            (est - truth).abs() < 0.15,
-            "est {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() < 0.15, "est {est} vs truth {truth}");
     }
 
     #[test]
@@ -321,10 +318,7 @@ mod tests {
         let cov = equicorrelated_cov(2, 0.7);
         let data = sample_gaussian(&cov, 800, 55);
         let sizes = [1usize, 1];
-        let base = multi_information(
-            &SampleView::new(&data, 800, &sizes),
-            &KsgConfig::default(),
-        );
+        let base = multi_information(&SampleView::new(&data, 800, &sizes), &KsgConfig::default());
         let transformed: Vec<f64> = data
             .chunks(2)
             .flat_map(|r| [3.0 * r[0] + 10.0, 3.0 * r[1] - 5.0])
@@ -381,10 +375,7 @@ mod tests {
                 )
             })
             .collect();
-        let spread = estimates
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = estimates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - estimates.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 0.12, "k-sensitivity too high: {estimates:?}");
     }
@@ -405,10 +396,7 @@ mod tests {
         let y: Vec<f64> = data.iter().skip(1).step_by(2).copied().collect();
         let via_wrapper = mutual_information(&x, &y, 400, 1, 1, &KsgConfig::default());
         let sizes = [1usize, 1];
-        let direct = multi_information(
-            &SampleView::new(&data, 400, &sizes),
-            &KsgConfig::default(),
-        );
+        let direct = multi_information(&SampleView::new(&data, 400, &sizes), &KsgConfig::default());
         assert!((via_wrapper - direct).abs() < 1e-12);
     }
 
@@ -445,10 +433,7 @@ pub fn pairwise_mi_matrix(view: &SampleView<'_>, cfg: &KsgConfig) -> Vec<Vec<f64
     } else {
         cfg.threads
     };
-    let inner = KsgConfig {
-        threads: 1,
-        ..*cfg
-    };
+    let inner = KsgConfig { threads: 1, ..*cfg };
     let values = sops_par::parallel_map(pairs.len(), threads, |p| {
         let (i, j) = pairs[p];
         let data = view.merged_blocks(&[i, j]);

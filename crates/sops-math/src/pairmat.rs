@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn from_full_fig4_matrix() {
         // The Fig. 4 preferred-distance matrix from the paper.
-        let m = PairMatrix::from_full(
-            3,
-            &[2.5, 5.0, 4.0, 5.0, 2.5, 2.0, 4.0, 2.0, 3.5],
-        );
+        let m = PairMatrix::from_full(3, &[2.5, 5.0, 4.0, 5.0, 2.5, 2.0, 4.0, 2.0, 3.5]);
         assert_eq!(m.get(0, 1), 5.0);
         assert_eq!(m.get(2, 1), 2.0);
         assert_eq!(m.get(2, 2), 3.5);

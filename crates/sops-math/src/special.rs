@@ -28,7 +28,8 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic series: psi(x) ~ ln x - 1/(2x) - sum B_{2n}/(2n x^{2n}).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
+    result += x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2
@@ -135,21 +136,14 @@ mod tests {
         // Gamma(n) = (n-1)!
         let mut fact = 1.0f64;
         for n in 1..15usize {
-            assert!(
-                close(ln_gamma(n as f64), fact.ln(), 1e-12),
-                "lgamma({n})"
-            );
+            assert!(close(ln_gamma(n as f64), fact.ln(), 1e-12), "lgamma({n})");
             fact *= n as f64;
         }
     }
 
     #[test]
     fn ln_gamma_at_half_is_log_sqrt_pi() {
-        assert!(close(
-            ln_gamma(0.5),
-            0.5 * std::f64::consts::PI.ln(),
-            1e-12
-        ));
+        assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12));
     }
 
     #[test]

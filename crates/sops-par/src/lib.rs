@@ -201,9 +201,7 @@ where
             .map(|h| h.join().expect("parallel_reduce: worker panicked"))
             .collect()
     });
-    partials
-        .into_iter()
-        .fold(init(), merge)
+    partials.into_iter().fold(init(), merge)
 }
 
 /// Interior-mutability wrapper granting per-index write access to a slice

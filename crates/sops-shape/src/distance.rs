@@ -149,7 +149,9 @@ mod tests {
         let mut rng = SplitMix64::new(9);
         let perturb = |scale: f64, rng: &mut SplitMix64| -> Vec<Vec2> {
             a.iter()
-                .map(|&p| p + Vec2::new(rng.next_range(-scale, scale), rng.next_range(-scale, scale)))
+                .map(|&p| {
+                    p + Vec2::new(rng.next_range(-scale, scale), rng.next_range(-scale, scale))
+                })
                 .collect()
         };
         let small = shape_distance(&a, &perturb(0.05, &mut rng), &types, &IcpConfig::default());
@@ -174,7 +176,10 @@ mod tests {
             let base = if i % 2 == 0 { &base_a } else { &base_b };
             configs.push(
                 base.iter()
-                    .map(|&p| t.apply(p) + Vec2::new(rng.next_range(-0.02, 0.02), rng.next_range(-0.02, 0.02)))
+                    .map(|&p| {
+                        t.apply(p)
+                            + Vec2::new(rng.next_range(-0.02, 0.02), rng.next_range(-0.02, 0.02))
+                    })
                     .collect(),
             );
         }

@@ -44,11 +44,7 @@ pub struct ReducedSet {
 ///
 /// Panics if `samples` is empty, sizes are inconsistent, or
 /// `cfg.reference` is out of range.
-pub fn reduce_configurations(
-    samples: &[&[Vec2]],
-    types: &[u16],
-    cfg: &ReduceConfig,
-) -> ReducedSet {
+pub fn reduce_configurations(samples: &[&[Vec2]], types: &[u16], cfg: &ReduceConfig) -> ReducedSet {
     assert!(!samples.is_empty(), "reduce_configurations: no samples");
     assert!(
         cfg.reference < samples.len(),

@@ -86,12 +86,7 @@ impl TypedIndex {
 ///
 /// Panics if the slices differ in length, are empty, or a type id has no
 /// particles in the reference.
-pub fn icp_align(
-    reference: &[Vec2],
-    moving: &[Vec2],
-    types: &[u16],
-    cfg: &IcpConfig,
-) -> IcpResult {
+pub fn icp_align(reference: &[Vec2], moving: &[Vec2], types: &[u16], cfg: &IcpConfig) -> IcpResult {
     assert_eq!(reference.len(), moving.len(), "icp_align: size mismatch");
     assert_eq!(reference.len(), types.len(), "icp_align: types mismatch");
     assert!(!reference.is_empty(), "icp_align: empty configurations");
@@ -180,7 +175,10 @@ mod tests {
         };
         // moving = truth^{-1}(reference): aligning moving back should find
         // a zero-cost transform.
-        let moving: Vec<Vec2> = reference.iter().map(|&p| truth.inverse().apply(p)).collect();
+        let moving: Vec<Vec2> = reference
+            .iter()
+            .map(|&p| truth.inverse().apply(p))
+            .collect();
         let res = icp_align(&reference, &moving, &types, &IcpConfig::default());
         assert!(res.cost < 1e-18, "cost {}", res.cost);
         for (&m, &r) in moving.iter().zip(&reference) {
@@ -195,7 +193,10 @@ mod tests {
         let reference = cloud();
         let types = vec![0u16; reference.len()];
         let truth = RigidTransform::rotation(PI * 0.95);
-        let moving: Vec<Vec2> = reference.iter().map(|&p| truth.inverse().apply(p)).collect();
+        let moving: Vec<Vec2> = reference
+            .iter()
+            .map(|&p| truth.inverse().apply(p))
+            .collect();
 
         let no_restart = icp_align(
             &reference,

@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn identity_when_already_matched() {
-        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)];
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+        ];
         let perm = match_types(&pts, &pts, &[0, 0, 0]);
         assert_eq!(perm, vec![0, 1, 2]);
     }

@@ -263,7 +263,8 @@ mod tests {
     #[test]
     fn f2_range_scales_with_preferred_distance() {
         let k = PairMatrix::constant(1, 1.0);
-        let small = GaussianForce::from_preferred_distance(k.clone(), &PairMatrix::constant(1, 1.0));
+        let small =
+            GaussianForce::from_preferred_distance(k.clone(), &PairMatrix::constant(1, 1.0));
         let large = GaussianForce::from_preferred_distance(k, &PairMatrix::constant(1, 4.0));
         // At x = 3 the short-range law has (essentially) decayed while the
         // long-range one is still pushing.

@@ -85,7 +85,10 @@ mod tests {
         let mut rng = SplitMix64::new(23);
         let pts = uniform_disc(40_000, 1.0, &mut rng);
         let mean = Vec2::centroid(&pts);
-        assert!(mean.norm() < 0.02, "centroid {mean:?} should be near origin");
+        assert!(
+            mean.norm() < 0.02,
+            "centroid {mean:?} should be near origin"
+        );
         let right = pts.iter().filter(|p| p.x > 0.0).count() as f64;
         assert!((right / pts.len() as f64 - 0.5).abs() < 0.02);
     }

@@ -340,7 +340,10 @@ mod heun_tests {
         // O(h²) drift error: 32 vs 4096 substeps already agree tightly.
         let fine = endpoint(Scheme::Heun, 4096);
         let heun = endpoint(Scheme::Heun, 32);
-        assert!((heun - fine).abs() < 1e-3, "heun {heun} vs reference {fine}");
+        assert!(
+            (heun - fine).abs() < 1e-3,
+            "heun {heun} vs reference {fine}"
+        );
     }
 
     #[test]

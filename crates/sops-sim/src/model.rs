@@ -207,10 +207,7 @@ mod tests {
 
     #[test]
     fn cutoff_silences_distant_pairs() {
-        let m = two_particle_model(
-            ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
-            3.0,
-        );
+        let m = two_particle_model(ForceModel::Linear(LinearForce::uniform(1.0, 1.0)), 3.0);
         let pos = [Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)];
         let mut f = Vec::new();
         m.net_forces(&pos, &mut f);

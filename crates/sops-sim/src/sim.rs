@@ -77,12 +77,7 @@ impl Trajectory {
             for f in start..t - lag {
                 let a = &self.frames[f];
                 let b = &self.frames[f + lag];
-                acc += a
-                    .iter()
-                    .zip(b)
-                    .map(|(p, q)| p.dist(*q))
-                    .sum::<f64>()
-                    / a.len() as f64;
+                acc += a.iter().zip(b).map(|(p, q)| p.dist(*q)).sum::<f64>() / a.len() as f64;
                 count += 1;
             }
             if count > 0 && acc / (count as f64) < tol {
@@ -252,12 +247,8 @@ mod tests {
 
     #[test]
     fn run_records_all_frames() {
-        let mut sim = Simulation::with_disc_init(
-            small_model(5),
-            IntegratorConfig::default(),
-            2.0,
-            42,
-        );
+        let mut sim =
+            Simulation::with_disc_init(small_model(5), IntegratorConfig::default(), 2.0, 42);
         let traj = sim.run(20, None);
         assert_eq!(traj.len(), 21);
         assert_eq!(traj.force_norms.len(), 20);
@@ -325,12 +316,8 @@ mod tests {
     fn noisy_system_does_not_report_spurious_equilibrium_with_tight_threshold() {
         // With noise, positions jitter; drift forces at a noisy packing
         // stay above an extremely tight threshold.
-        let mut sim = Simulation::with_disc_init(
-            small_model(10),
-            IntegratorConfig::default(),
-            2.0,
-            5,
-        );
+        let mut sim =
+            Simulation::with_disc_init(small_model(10), IntegratorConfig::default(), 2.0, 5);
         let traj = sim.run(
             100,
             Some(EquilibriumCriterion {
@@ -367,12 +354,8 @@ mod tests {
 
     #[test]
     fn trajectory_too_short_for_period_detection() {
-        let mut sim = Simulation::with_disc_init(
-            small_model(3),
-            IntegratorConfig::default(),
-            1.0,
-            21,
-        );
+        let mut sim =
+            Simulation::with_disc_init(small_model(3), IntegratorConfig::default(), 1.0, 21);
         let traj = sim.run(5, None);
         assert_eq!(traj.detect_period(10, 5, 1e-3), None);
     }

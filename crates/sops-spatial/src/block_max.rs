@@ -118,9 +118,7 @@ impl<'a> BlockPoints<'a> {
     /// Per-block L2 distances between samples `a` and `b`.
     pub fn block_dists(&self, a: usize, b: usize) -> Vec<f64> {
         (0..self.blocks())
-            .map(|blk| {
-                crate::dist_sq(self.block(a, blk), self.block(b, blk)).sqrt()
-            })
+            .map(|blk| crate::dist_sq(self.block(a, blk), self.block(b, blk)).sqrt())
             .collect()
     }
 }

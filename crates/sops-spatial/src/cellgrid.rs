@@ -121,7 +121,13 @@ impl CellGrid {
     ///
     /// `exclude` is typically the queried particle's own index; pass
     /// `usize::MAX` to exclude nothing.
-    pub fn for_neighbors(&self, query: Vec2, radius: f64, exclude: usize, mut f: impl FnMut(usize, f64)) {
+    pub fn for_neighbors(
+        &self,
+        query: Vec2,
+        radius: f64,
+        exclude: usize,
+        mut f: impl FnMut(usize, f64),
+    ) {
         debug_assert!(
             radius <= self.cell * (1.0 + 1e-12),
             "CellGrid: query radius {radius} exceeds cell size {}",
@@ -197,7 +203,11 @@ mod tests {
 
     #[test]
     fn single_cell_all_points() {
-        let pts = vec![Vec2::new(0.1, 0.1), Vec2::new(0.2, 0.2), Vec2::new(0.3, 0.3)];
+        let pts = vec![
+            Vec2::new(0.1, 0.1),
+            Vec2::new(0.2, 0.2),
+            Vec2::new(0.3, 0.3),
+        ];
         let g = CellGrid::build(&pts, 10.0);
         assert_eq!(g.shape(), (1, 1));
         let mut found = Vec::new();
@@ -229,7 +239,10 @@ mod tests {
             .map(|i| Vec2::new((i % 7) as f64 * 0.6, (i / 7) as f64 * 0.6))
             .collect();
         let g = CellGrid::build(&pts, 1.25);
-        assert_eq!(g.pairs_within(1.25), brute::pairs_within(2, &to_flat(&pts), 1.25));
+        assert_eq!(
+            g.pairs_within(1.25),
+            brute::pairs_within(2, &to_flat(&pts), 1.25)
+        );
     }
 
     #[test]

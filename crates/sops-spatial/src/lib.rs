@@ -15,8 +15,8 @@
 //! [`brute`] holds the obviously-correct `O(n²)` references that the
 //! property tests compare against and that small inputs fall back to.
 
-pub mod brute;
 pub mod block_max;
+pub mod brute;
 pub mod cellgrid;
 pub mod kdtree;
 

@@ -94,5 +94,8 @@ fn main() {
         result.mi.increase() > 0.5,
         "sorting should register as self-organization"
     );
-    println!("ΔI = {:.2} bits — sorting is self-organization.", result.mi.increase());
+    println!(
+        "ΔI = {:.2} bits — sorting is self-organization.",
+        result.mi.increase()
+    );
 }

@@ -18,16 +18,56 @@ fn spec(seed: u64) -> EnsembleSpec {
     }
 }
 
+/// Every field of the result, compared at the bit level — `f64` equality
+/// would hide sign/NaN drift.
+fn assert_bit_identical(a: &PipelineResult, b: &PipelineResult, what: &str) {
+    assert_eq!(a.mi.times, b.mi.times, "{what}: eval times");
+    assert_eq!(
+        a.mi.values.len(),
+        b.mi.values.len(),
+        "{what}: series length"
+    );
+    for (i, (x, y)) in a.mi.values.iter().zip(&b.mi.values).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: mi[{i}] {x} vs {y}");
+    }
+    assert_eq!(
+        a.mean_icp_cost.len(),
+        b.mean_icp_cost.len(),
+        "{what}: icp cost series length"
+    );
+    for (i, (x, y)) in a.mean_icp_cost.iter().zip(&b.mean_icp_cost).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: icp_cost[{i}] {x} vs {y}");
+    }
+    assert_eq!(
+        a.equilibrated_fraction.to_bits(),
+        b.equilibrated_fraction.to_bits(),
+        "{what}: equilibrated fraction"
+    );
+}
+
 #[test]
 fn pipeline_bitwise_reproducible() {
     let mut p = Pipeline::new(spec(2024));
     p.eval_every = 5;
     let a = run_pipeline(&p);
     let b = run_pipeline(&p);
-    assert_eq!(a.mi.times, b.mi.times);
-    for (x, y) in a.mi.values.iter().zip(&b.mi.values) {
-        assert_eq!(x.to_bits(), y.to_bits(), "bitwise identical estimates");
-    }
+    assert_bit_identical(&a, &b, "same seed, two runs");
+}
+
+#[test]
+fn pipeline_bitwise_identical_across_explicit_and_auto_threads() {
+    // threads = 0 resolves to the machine's parallelism; the result must
+    // still be bit-identical to a single-threaded run — the parallel
+    // ensemble writes into per-index slots with per-index derived seeds,
+    // so scheduling must never leak into the numbers.
+    let mut p1 = Pipeline::new(spec(0xD17E_4311));
+    p1.eval_every = 5;
+    p1.threads = 1;
+    let mut p_auto = p1.clone();
+    p_auto.threads = 0;
+    let a = run_pipeline(&p1);
+    let b = run_pipeline(&p_auto);
+    assert_bit_identical(&a, &b, "threads=1 vs threads=0");
 }
 
 #[test]
@@ -39,9 +79,7 @@ fn pipeline_independent_of_thread_count() {
     p8.threads = 8;
     let a = run_pipeline(&p1);
     let b = run_pipeline(&p8);
-    for (x, y) in a.mi.values.iter().zip(&b.mi.values) {
-        assert!((x - y).abs() < 1e-12, "{x} vs {y}");
-    }
+    assert_bit_identical(&a, &b, "threads=1 vs threads=8");
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn ksg_tracks_truth_across_sample_sizes() {
     }
     // All close; error at m=1000 below error-plus-slack at m=250.
     assert!(errs.iter().all(|&e| e < 0.3), "errors {errs:?}");
-    assert!(errs[2] < errs[0] + 0.1, "no blow-up with more data: {errs:?}");
+    assert!(
+        errs[2] < errs[0] + 0.1,
+        "no blow-up with more data: {errs:?}"
+    );
 }
 
 #[test]
@@ -81,7 +84,11 @@ fn decomposition_identity_holds_on_block_gaussians() {
     );
     // Ground truth cross-check for the total.
     let truth = gaussian_multi_information(&cov, &[2, 2, 2, 2]);
-    assert!((d.total - truth).abs() < 0.3, "total {} vs truth {truth}", d.total);
+    assert!(
+        (d.total - truth).abs() < 0.3,
+        "total {} vs truth {truth}",
+        d.total
+    );
 }
 
 #[test]

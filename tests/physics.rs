@@ -61,12 +61,8 @@ fn gaussian_collective_expands_monotonically() {
     // start (the "still slowly expanding" observation of §6).
     let law = ForceModel::Gaussian(GaussianForce::uniform(3.0, 4.0));
     let model = Model::balanced(20, law, f64::INFINITY);
-    let mut sim = Simulation::with_disc_init(
-        model,
-        IntegratorConfig::default().deterministic(),
-        1.0,
-        5,
-    );
+    let mut sim =
+        Simulation::with_disc_init(model, IntegratorConfig::default().deterministic(), 1.0, 5);
     let rg = |pos: &[Vec2]| {
         let c = Vec2::centroid(pos);
         (pos.iter().map(|p| p.dist_sq(c)).sum::<f64>() / pos.len() as f64).sqrt()
@@ -77,7 +73,10 @@ fn gaussian_collective_expands_monotonically() {
             sim.step();
         }
         let now = rg(sim.positions());
-        assert!(now >= last - 1e-9, "collective must not contract: {last} -> {now}");
+        assert!(
+            now >= last - 1e-9,
+            "collective must not contract: {last} -> {now}"
+        );
         last = now;
     }
 }
@@ -116,9 +115,7 @@ fn cutoff_decouples_distant_clusters() {
 fn asymmetric_interactions_are_rejected_by_pairmatrix() {
     // §4.1 considers only symmetric matrices (asymmetric preferences are
     // unstable); the type system enforces this at construction.
-    let result = std::panic::catch_unwind(|| {
-        PairMatrix::from_full(2, &[1.0, 2.0, 3.0, 1.0])
-    });
+    let result = std::panic::catch_unwind(|| PairMatrix::from_full(2, &[1.0, 2.0, 3.0, 1.0]));
     assert!(result.is_err(), "asymmetric matrix must be rejected");
 }
 

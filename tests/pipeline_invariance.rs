@@ -11,7 +11,11 @@ fn organized_ensemble(samples: usize) -> (Vec<Vec<Vec2>>, Vec<u16>) {
     let k = PairMatrix::constant(2, 1.0);
     let mut r = PairMatrix::constant(2, 1.0);
     r.set(0, 1, 2.5);
-    let model = Model::balanced(10, ForceModel::Linear(LinearForce::new(k, r)), f64::INFINITY);
+    let model = Model::balanced(
+        10,
+        ForceModel::Linear(LinearForce::new(k, r)),
+        f64::INFINITY,
+    );
     let types = model.types().to_vec();
     let spec = EnsembleSpec {
         model,
@@ -123,7 +127,10 @@ fn reduction_centres_and_preserves_distances() {
         d_orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
         d_red.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (a, b) in d_orig.iter().zip(&d_red) {
-            assert!((a - b).abs() < 1e-6, "distance multiset changed: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "distance multiset changed: {a} vs {b}"
+            );
         }
     }
 }
@@ -135,7 +142,11 @@ fn observer_mode_kmeans_tracks_per_particle_trend() {
     let k = PairMatrix::constant(2, 1.0);
     let mut r = PairMatrix::constant(2, 1.0);
     r.set(0, 1, 2.5);
-    let model = Model::balanced(12, ForceModel::Linear(LinearForce::new(k, r)), f64::INFINITY);
+    let model = Model::balanced(
+        12,
+        ForceModel::Linear(LinearForce::new(k, r)),
+        f64::INFINITY,
+    );
     let spec = EnsembleSpec {
         model,
         integrator: IntegratorConfig::default(),

@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace must build with no network access and no crates.io cache,
+//! so the real criterion cannot be a dependency. This crate keeps the same
+//! bench-authoring surface — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`Bencher::iter`], [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`] — so the `benches/` files compile unchanged, and it
+//! actually measures: each benchmark is warmed up, then timed over batches
+//! until a time budget is exhausted, and the median per-iteration time is
+//! printed as
+//!
+//! ```text
+//! bench group/id ... median 12.345 µs/iter (n = 2048)
+//! ```
+//!
+//! There are no statistical comparisons, plots, or saved baselines. The
+//! numbers are honest wall-clock medians, good enough for spotting
+//! order-of-magnitude regressions in CI logs and for the ablation sweeps in
+//! `crates/sops-bench`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle; one per `criterion_group!` function list.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into().id, 50, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches collected per benchmark (clamped
+    /// to at least 10; a wall-clock ceiling still applies).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().id, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    /// Median seconds per iteration, filled in by `iter`.
+    median: f64,
+    iters: u64,
+    /// Number of timed batches to collect (the group's `sample_size`).
+    sample_size: usize,
+}
+
+/// Time budgets per benchmark: a short warm-up, then up to `sample_size`
+/// timed batches capped by a wall-clock ceiling (so one slow bench cannot
+/// stall a whole suite).
+const WARM_UP: Duration = Duration::from_millis(80);
+const MEASURE: Duration = Duration::from_millis(400);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also sizes the batch so each timed batch is ~1ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::new();
+        let measure_start = Instant::now();
+        let mut total_iters: u64 = 0;
+        while samples.len() < self.sample_size
+            && (samples.is_empty() || measure_start.elapsed() < MEASURE)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        median: 0.0,
+        iters: 0,
+        sample_size,
+    };
+    f(&mut b);
+    let (scaled, unit) = scale_seconds(b.median);
+    println!(
+        "bench {full} ... median {scaled:.3} {unit}/iter (n = {})",
+        b.iters
+    );
+}
+
+fn scale_seconds(s: f64) -> (f64, &'static str) {
+    if s >= 1.0 {
+        (s, "s")
+    } else if s >= 1e-3 {
+        (s * 1e3, "ms")
+    } else if s >= 1e-6 {
+        (s * 1e6, "µs")
+    } else {
+        (s * 1e9, "ns")
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function that runs every listed
+/// benchmark function against one [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("m10").id, "m10");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn scale_picks_sane_units() {
+        assert_eq!(scale_seconds(2.0).1, "s");
+        assert_eq!(scale_seconds(2e-3).1, "ms");
+        assert_eq!(scale_seconds(2e-6).1, "µs");
+        assert_eq!(scale_seconds(2e-9).1, "ns");
+    }
+}

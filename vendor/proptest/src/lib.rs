@@ -1,0 +1,549 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace must build with no network access and no crates.io cache,
+//! so the real proptest cannot be a dependency. This crate implements the
+//! subset of its API that the workspace's property tests use, with the same
+//! names and call shapes:
+//!
+//! * [`Strategy`](strategy::Strategy) implemented for `Range` /
+//!   `RangeInclusive` of the primitive numeric types, tuples of strategies,
+//!   and [`collection::vec`], plus `prop_map` adapters.
+//! * The [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`] and [`prop_compose!`] macros.
+//! * [`ProptestConfig`](test_runner::Config) with `with_cases`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case index and the
+//!   generated-input seed, not a minimized counterexample.
+//! * **Deterministic seeding.** Cases are derived from a fixed per-test
+//!   seed (FNV-1a of the test's module path and name), so runs are
+//!   bit-reproducible — there is no `PROPTEST_` environment handling.
+//! * Default case count is 64 (the real crate's is 256); tests that set
+//!   `ProptestConfig::with_cases(n)` get exactly `n` cases.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (re-exported from the
+    /// prelude as `ProptestConfig`). Only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test panics.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// SplitMix64 generator driving all strategies. One instance per case,
+    /// seeded from the test's name hash and the case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(base: u64, case: u64) -> Self {
+            let mut rng = TestRng {
+                state: base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            // Decorrelate nearby case indices.
+            rng.next_u64();
+            rng.next_u64();
+            rng
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Stable per-test seed: FNV-1a over the fully qualified test name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::strategy::Strategy`: something that can draw a
+    /// value from a [`TestRng`]. Unlike the real crate there is no value
+    /// tree / shrinking layer.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategies are generated through `&self`, so a reference is as good
+    /// as the strategy itself (the real crate has the same impl).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Mirror of `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            debug_assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+
+    /// Strategy backed by a generation closure; the return type of
+    /// [`fn_strategy`] and the expansion target of `prop_compose!`.
+    pub struct FnStrategy<F>(F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    pub fn fn_strategy<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length. Mirrors
+    /// `proptest::collection::SizeRange` conversions for the shapes the
+    /// workspace uses: exact `usize`, `lo..hi` and `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u128 + 1;
+            let n = self.size.lo + (rng.next_u64() as u128 % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Mirror of `proptest::proptest!`: expands each `fn name(pat in strategy,
+/// ...) { body }` item into a `#[test]`-able function that runs
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::seed_for(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                // A rejected case (prop_assume!) is retried with fresh
+                // inputs rather than silently skipped; if rejections swamp
+                // the budget the test aborts instead of passing vacuously
+                // (mirrors real proptest's "too many global rejects").
+                let max_attempts = config.cases as u64 * 16;
+                let mut passed: u32 = 0;
+                let mut attempt: u64 = 0;
+                while passed < config.cases {
+                    if attempt >= max_attempts {
+                        panic!(
+                            "proptest: too many prop_assume! rejections \
+                             ({} attempts, only {}/{} cases passed, seed {:#x})",
+                            attempt, passed, config.cases, base
+                        );
+                    }
+                    let mut rng = $crate::test_runner::TestRng::new(base, attempt);
+                    attempt += 1;
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $arg =
+                                    $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                            )*
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => continue,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest case {}/{} failed (seed {:#x}): {}",
+                            passed + 1, config.cases, base, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: on failure, aborts the current case
+/// with a [`TestCaseError::Fail`](test_runner::TestCaseError).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assume!`: rejects (skips) the current case
+/// when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_compose!`: builds a named strategy function
+/// out of one or two stages of `pat in strategy` bindings (the second
+/// stage may reference values drawn in the first).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($p1:pat in $s1:expr),* $(,)?)
+            $(($($p2:pat in $s2:expr),* $(,)?))?
+            -> $ret:ty $body:block
+    ) => {
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $p1 = $crate::strategy::Strategy::generate(&($s1), rng);)*
+                $($(let $p2 = $crate::strategy::Strategy::generate(&($s2), rng);)*)?
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1, 0);
+        for _ in 0..1000 {
+            let x = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+            let n = (1..5usize).generate(&mut rng);
+            assert!((1..5).contains(&n));
+            let m = (2..=2usize).generate(&mut rng);
+            assert_eq!(m, 2);
+            let s = (0..u64::MAX).generate(&mut rng);
+            assert!(s < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::new(2, 0);
+        let strat = crate::collection::vec((-1.0..1.0f64, -1.0..1.0f64), 3..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let mapped = (0..10u64).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(mapped.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(-5.0..5.0f64, 10);
+        let a = strat.generate(&mut TestRng::new(7, 3));
+        let b = strat.generate(&mut TestRng::new(7, 3));
+        assert_eq!(a, b);
+    }
+
+    prop_compose! {
+        fn arb_pair(limit: usize)(n in 1..limit)(
+            v in crate::collection::vec(0.0..1.0f64, n)
+        ) -> (usize, Vec<f64>) {
+            (n, v)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0.0..1.0f64, n in 1..10usize) {
+            prop_assume!(n > 0);
+            prop_assert!(x >= 0.0 && x < 1.0);
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n, n + 1);
+        }
+
+        #[test]
+        fn composed_strategy_is_consistent(pair in arb_pair(20)) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}
