@@ -6,7 +6,7 @@ use sops_bench::cloud;
 use sops_math::PairMatrix;
 use sops_sim::ensemble::{run_ensemble, EnsembleSpec};
 use sops_sim::force::{ForceModel, GaussianForce, LinearForce};
-use sops_sim::{IntegratorConfig, Model, Simulation};
+use sops_sim::{ForceWorkspace, IntegratorConfig, Model, Simulation};
 use std::hint::black_box;
 
 fn linear_model(n: usize, cutoff: f64) -> Model {
@@ -20,20 +20,42 @@ fn linear_model(n: usize, cutoff: f64) -> Model {
 fn bench_force_paths(c: &mut Criterion) {
     // The cell-grid path activates for finite cutoff and n >= 64; compare
     // against the direct O(n²) loop via an infinite cutoff of equal work.
+    // Both paths run through a persistent ForceWorkspace, the engine the
+    // integrator drives every substep.
     let mut group = c.benchmark_group("net_forces");
     group.sample_size(30);
-    for &n in &[50usize, 200, 800] {
+    let mut ws = ForceWorkspace::new();
+    for &n in &[50usize, 200, 512, 800] {
         let pts = cloud(n, (n as f64).sqrt(), 5);
         let grid_model = linear_model(n, 3.0);
         let direct_model = linear_model(n, f64::INFINITY);
         let mut out = Vec::new();
         group.bench_with_input(BenchmarkId::new("cutoff_grid", n), &pts, |b, pts| {
-            b.iter(|| grid_model.net_forces(black_box(pts), &mut out))
+            b.iter(|| ws.net_forces_into(&grid_model, black_box(pts), &mut out))
         });
         group.bench_with_input(BenchmarkId::new("all_pairs", n), &pts, |b, pts| {
-            b.iter(|| direct_model.net_forces(black_box(pts), &mut out))
+            b.iter(|| ws.net_forces_into(&direct_model, black_box(pts), &mut out))
         });
     }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // Cost of NOT holding a workspace: Model::net_forces is the one-shot
+    // convenience path that re-allocates grid and scratch per call.
+    let mut group = c.benchmark_group("workspace");
+    group.sample_size(30);
+    let n = 512;
+    let pts = cloud(n, (n as f64).sqrt(), 5);
+    let model = linear_model(n, 3.0);
+    let mut out = Vec::new();
+    let mut ws = ForceWorkspace::new();
+    group.bench_function("persistent/512", |b| {
+        b.iter(|| ws.net_forces_into(&model, black_box(&pts), &mut out))
+    });
+    group.bench_function("one_shot/512", |b| {
+        b.iter(|| model.net_forces(black_box(&pts), &mut out))
+    });
     group.finish();
 }
 
@@ -43,6 +65,7 @@ fn bench_force_families(c: &mut Criterion) {
     let n = 100;
     let pts = cloud(n, 10.0, 9);
     let mut out = Vec::new();
+    let mut ws = ForceWorkspace::new();
     let linear = linear_model(n, f64::INFINITY);
     let gaussian = Model::balanced(
         n,
@@ -53,10 +76,10 @@ fn bench_force_families(c: &mut Criterion) {
         f64::INFINITY,
     );
     group.bench_function("f1_linear", |b| {
-        b.iter(|| linear.net_forces(black_box(&pts), &mut out))
+        b.iter(|| ws.net_forces_into(&linear, black_box(&pts), &mut out))
     });
     group.bench_function("f2_gaussian", |b| {
-        b.iter(|| gaussian.net_forces(black_box(&pts), &mut out))
+        b.iter(|| ws.net_forces_into(&gaussian, black_box(&pts), &mut out))
     });
     group.finish();
 }
@@ -119,6 +142,7 @@ fn bench_ensemble_throughput(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_force_paths,
+    bench_workspace_reuse,
     bench_force_families,
     bench_substeps_ablation,
     bench_ensemble_throughput

@@ -134,6 +134,20 @@ where
     let len = data.len();
     let base = len / chunks;
     let extra = len % chunks;
+    let threads = threads.max(1).min(chunks);
+    if threads == 1 || chunks == 1 {
+        // Sequential fast path: same deterministic partition, no thread
+        // spawn cost — hot per-substep callers (the force sweep) rely on
+        // this when inner parallelism is disabled.
+        let mut rest = data;
+        for c in 0..chunks {
+            let take = base + usize::from(c < extra);
+            let (head, tail) = rest.split_at_mut(take.min(rest.len()));
+            f(c, head);
+            rest = tail;
+        }
+        return;
+    }
     let mut slices: Vec<(usize, &mut [T])> = Vec::with_capacity(chunks);
     let mut rest = data;
     for c in 0..chunks {
@@ -144,7 +158,6 @@ where
     }
     let next = AtomicUsize::new(0);
     let cells = SliceCells::new(&mut slices);
-    let threads = threads.max(1).min(chunks);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -320,6 +333,20 @@ mod tests {
         // First 103 % 7 = 5 chunks have 15 elements, rest 14.
         assert_eq!(data.iter().filter(|&&v| v == 1).count(), 15);
         assert_eq!(data.iter().filter(|&&v| v == 7).count(), 14);
+    }
+
+    #[test]
+    fn chunks_mut_sequential_path_matches_parallel() {
+        let run = |threads: usize| {
+            let mut data: Vec<u64> = vec![0; 103];
+            parallel_chunks_mut(&mut data, 7, threads, |c, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = c as u64 + 1;
+                }
+            });
+            data
+        };
+        assert_eq!(run(1), run(4), "partition is thread-count independent");
     }
 
     #[test]

@@ -89,6 +89,11 @@ impl Ensemble {
 
 /// Runs the ensemble on up to `threads` worker threads (pass 0 to use the
 /// default; see `sops_par::default_threads`).
+///
+/// Each sample owns a private [`crate::ForceWorkspace`], so its grid and
+/// scratch buffers are allocated once at the start of the run and reused
+/// across every substep; the inner force sweep stays sequential because
+/// the sample-level parallelism here already saturates the cores.
 pub fn run_ensemble(spec: &EnsembleSpec, threads: usize) -> Ensemble {
     spec.validate();
     let threads = if threads == 0 {

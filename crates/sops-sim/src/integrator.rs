@@ -19,6 +19,7 @@
 //! (and benchmarked) as an ablation.
 
 use crate::model::Model;
+use crate::workspace::ForceWorkspace;
 use sops_math::{SplitMix64, Vec2};
 
 /// The stochastic integration scheme.
@@ -80,8 +81,9 @@ impl IntegratorConfig {
     }
 }
 
-/// Advances `positions` by one recorded step; `forces` is scratch space
-/// reused across calls (the "workhorse collection" pattern).
+/// Advances `positions` by one recorded step. All scratch (force buffers,
+/// the cell grid, Heun predictor/corrector state) lives in `ws` and is
+/// reused across calls — a warmed-up step allocates nothing.
 ///
 /// Returns the drift force-norm sum `Σ_i ‖f_i‖₂` measured at the *start*
 /// of the step, which the caller feeds to equilibrium detection.
@@ -89,40 +91,35 @@ pub fn step(
     model: &Model,
     cfg: &IntegratorConfig,
     positions: &mut [Vec2],
-    forces: &mut Vec<Vec2>,
+    ws: &mut ForceWorkspace,
     rng: &mut SplitMix64,
 ) -> f64 {
     let h = cfg.dt / cfg.substeps as f64;
     let noise_scale = (cfg.noise_variance * h).sqrt();
     let mut first_force_norm = 0.0;
-    // Scratch for the Heun corrector stage (unused by Euler–Maruyama).
-    let mut predicted: Vec<Vec2> = Vec::new();
-    let mut forces2: Vec<Vec2> = Vec::new();
     for sub in 0..cfg.substeps {
-        model.net_forces(positions, forces);
+        ws.compute(model, positions);
         if sub == 0 {
-            first_force_norm = forces.iter().map(|f| f.norm()).sum();
+            first_force_norm = ws.forces().iter().map(|f| f.norm()).sum();
         }
         match cfg.scheme {
             Scheme::EulerMaruyama => {
-                for (z, f) in positions.iter_mut().zip(forces.iter()) {
+                for (z, f) in positions.iter_mut().zip(ws.forces()) {
                     let drift = (*f * h).clamp_norm(cfg.max_step);
                     *z += drift + sample_noise(noise_scale, rng);
                 }
             }
             Scheme::Heun => {
                 // Predictor: full Euler drift step.
-                predicted.clear();
-                predicted.extend(
-                    positions
-                        .iter()
-                        .zip(forces.iter())
-                        .map(|(z, f)| *z + (*f * h).clamp_norm(cfg.max_step)),
-                );
+                ws.predict(positions, h, cfg.max_step);
                 // Corrector: average the drift at both ends; noise is
                 // added once (additive noise needs no derivative terms).
-                model.net_forces(&predicted, &mut forces2);
-                for ((z, f0), f1) in positions.iter_mut().zip(forces.iter()).zip(forces2.iter()) {
+                ws.compute_corrector(model);
+                for ((z, f0), f1) in positions
+                    .iter_mut()
+                    .zip(ws.forces())
+                    .zip(ws.corrector_forces())
+                {
                     let drift = ((*f0 + *f1) * (0.5 * h)).clamp_norm(cfg.max_step);
                     *z += drift + sample_noise(noise_scale, rng);
                 }
@@ -162,10 +159,10 @@ mod tests {
         let model = pair_model(1.0, 1.0);
         let cfg = IntegratorConfig::default().deterministic();
         let mut pos = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
-        let mut forces = Vec::new();
+        let mut ws = ForceWorkspace::new();
         let mut rng = SplitMix64::new(0);
         for _ in 0..500 {
-            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+            step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         }
         let sep = pos[0].dist(pos[1]);
         assert!(
@@ -179,10 +176,10 @@ mod tests {
         let model = pair_model(1.0, 2.0);
         let cfg = IntegratorConfig::default().deterministic();
         let mut pos = vec![Vec2::new(-0.2, 0.0), Vec2::new(0.2, 0.0)];
-        let mut forces = Vec::new();
+        let mut ws = ForceWorkspace::new();
         let mut rng = SplitMix64::new(0);
         for _ in 0..1000 {
-            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+            step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         }
         let sep = pos[0].dist(pos[1]);
         assert!((sep - 2.0).abs() < 1e-3, "separation {sep}");
@@ -193,13 +190,13 @@ mod tests {
         let model = pair_model(1.0, 1.0);
         let cfg = IntegratorConfig::default().deterministic();
         let mut pos = vec![Vec2::new(-3.0, 0.0), Vec2::new(3.0, 0.0)];
-        let mut forces = Vec::new();
+        let mut ws = ForceWorkspace::new();
         let mut rng = SplitMix64::new(0);
-        let early = step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        let early = step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         for _ in 0..300 {
-            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+            step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         }
-        let late = step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+        let late = step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         assert!(late < early * 1e-3, "early {early}, late {late}");
     }
 
@@ -226,9 +223,9 @@ mod tests {
         for t in 0..trials {
             let mut rng = SplitMix64::new(t);
             let mut pos = vec![Vec2::ZERO];
-            let mut forces = Vec::new();
+            let mut ws = ForceWorkspace::new();
             for _ in 0..steps {
-                step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+                step(&model, &cfg, &mut pos, &mut ws, &mut rng);
             }
             sum_sq += pos[0].x * pos[0].x;
         }
@@ -247,10 +244,10 @@ mod tests {
         let model = pair_model(1.0, 1.0);
         let mut a = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
         let mut b = a.clone();
-        let mut fa = Vec::new();
-        let mut fb = Vec::new();
-        step(&model, &cfg, &mut a, &mut fa, &mut SplitMix64::new(1));
-        step(&model, &cfg, &mut b, &mut fb, &mut SplitMix64::new(999));
+        let mut wa = ForceWorkspace::new();
+        let mut wb = ForceWorkspace::new();
+        step(&model, &cfg, &mut a, &mut wa, &mut SplitMix64::new(1));
+        step(&model, &cfg, &mut b, &mut wb, &mut SplitMix64::new(999));
         assert_eq!(a, b, "noiseless integration ignores the RNG");
     }
 
@@ -268,8 +265,8 @@ mod tests {
         };
         let mut pos = vec![Vec2::new(-5.0, 0.0), Vec2::new(5.0, 0.0)];
         let before = pos.clone();
-        let mut forces = Vec::new();
-        step(&model, &cfg, &mut pos, &mut forces, &mut SplitMix64::new(0));
+        let mut ws = ForceWorkspace::new();
+        step(&model, &cfg, &mut pos, &mut ws, &mut SplitMix64::new(0));
         for (p, q) in pos.iter().zip(&before) {
             assert!(p.dist(*q) <= 0.3 + 1e-12);
         }
@@ -311,13 +308,13 @@ mod heun_tests {
             scheme,
         };
         let mut pos = vec![Vec2::new(-2.0, 0.0), Vec2::new(2.0, 0.0)];
-        let mut forces = Vec::new();
+        let mut ws = ForceWorkspace::new();
         let mut rng = SplitMix64::new(0);
         // Two recorded steps only: the comparison happens mid-transient,
         // where truncation error has not yet been absorbed by the
         // attracting fixed point.
         for _ in 0..2 {
-            step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+            step(&model, &cfg, &mut pos, &mut ws, &mut rng);
         }
         pos[0].dist(pos[1])
     }
@@ -376,9 +373,9 @@ mod heun_tests {
             for t in 0..trials {
                 let mut rng = SplitMix64::new(t);
                 let mut pos = vec![Vec2::ZERO];
-                let mut forces = Vec::new();
+                let mut ws = ForceWorkspace::new();
                 for _ in 0..20 {
-                    step(&model, &cfg, &mut pos, &mut forces, &mut rng);
+                    step(&model, &cfg, &mut pos, &mut ws, &mut rng);
                 }
                 sum_sq += pos[0].norm_sq();
             }

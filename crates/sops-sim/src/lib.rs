@@ -23,6 +23,9 @@
 //!   [`Model`].
 //! * [`integrator`] — Euler–Maruyama stepping with substeps and a
 //!   displacement clamp for the `1/x` singularity of `F¹`.
+//! * [`workspace`] — the persistent, allocation-free force-evaluation
+//!   engine: in-place grid rebuilds, a cell-sorted Newton's-third-law
+//!   half sweep, and deterministic chunked parallelism.
 //! * [`sim`] — a single simulation run producing a [`Trajectory`];
 //!   equilibrium and limit-cycle detection (§4.1, §6).
 //! * [`init`] — the uniform-disc initial distribution (§5.1).
@@ -35,12 +38,14 @@ pub mod init;
 pub mod integrator;
 pub mod model;
 pub mod sim;
+pub mod workspace;
 
 pub use ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 pub use force::{ForceLaw, ForceModel, GaussianForce, LinearForce};
 pub use integrator::IntegratorConfig;
 pub use model::Model;
 pub use sim::{EquilibriumCriterion, Simulation, Trajectory};
+pub use workspace::ForceWorkspace;
 
 /// Default noise level: the paper's `w ~ N(0, 0.05)` read as *variance* per
 /// unit time (std ≈ 0.2236). See DESIGN.md, pinned interpretation #1.

@@ -1,12 +1,12 @@
 //! The model: particle types + force law + interaction cut-off.
 
 use crate::force::{ForceLaw, ForceModel};
+use crate::workspace::ForceWorkspace;
 use sops_math::Vec2;
-use sops_spatial::CellGrid;
 
 /// Distance below which the force-scaling argument is clamped, guarding
 /// `F¹`'s `r/x` pole when two particles coincide numerically.
-const MIN_DISTANCE: f64 = 1e-9;
+pub(crate) const MIN_DISTANCE: f64 = 1e-9;
 
 /// When the cut-off is finite, the cell-grid neighbour list is used above
 /// this particle count; below it the direct `O(n²)` loop is faster.
@@ -90,65 +90,33 @@ impl Model {
         h
     }
 
+    /// Particle count at or above which (with a finite cut-off) the
+    /// cell-grid half sweep is used instead of the direct `O(n²)` loop.
+    pub fn grid_threshold() -> usize {
+        GRID_THRESHOLD
+    }
+
     /// Drift term of Eq. 6 for every particle: `f_i = Σ_j −F(‖Δz_ij‖) Δz_ij`
     /// over neighbours within the cut-off, written into `out`.
     ///
-    /// Uses a cell grid when the cut-off is finite and the system is large
-    /// enough to amortize the build; otherwise the direct pair loop.
+    /// Convenience entry point that spins up a fresh [`ForceWorkspace`]
+    /// per call. Anything evaluating forces repeatedly (the integrator,
+    /// benchmarks, analysis sweeps) should hold a workspace and call
+    /// [`ForceWorkspace::net_forces_into`] so grid and scratch buffers are
+    /// reused across calls.
     pub fn net_forces(&self, positions: &[Vec2], out: &mut Vec<Vec2>) {
-        let n = positions.len();
-        assert_eq!(n, self.particles(), "net_forces: position count mismatch");
-        out.clear();
-        out.resize(n, Vec2::ZERO);
-        if self.cutoff.is_finite() && n >= GRID_THRESHOLD {
-            let grid = CellGrid::build(positions, self.cutoff);
-            for i in 0..n {
-                let ti = self.type_of(i);
-                let zi = positions[i];
-                let mut acc = Vec2::ZERO;
-                grid.for_neighbors(zi, self.cutoff, i, |j, d2| {
-                    let delta = zi - positions[j];
-                    let x = d2.sqrt().max(MIN_DISTANCE);
-                    let f = self.law.scale(ti, self.type_of(j), x);
-                    acc -= delta * f;
-                });
-                out[i] = acc;
-            }
-        } else {
-            // Direct pair loop, exploiting Newton's third law: the
-            // symmetric force-scaling makes pair contributions equal and
-            // opposite.
-            let r2 = if self.cutoff.is_finite() {
-                self.cutoff * self.cutoff
-            } else {
-                f64::INFINITY
-            };
-            for i in 0..n {
-                let ti = self.type_of(i);
-                let zi = positions[i];
-                for j in (i + 1)..n {
-                    let delta = zi - positions[j];
-                    let d2 = delta.norm_sq();
-                    if d2 > r2 {
-                        continue;
-                    }
-                    let x = d2.sqrt().max(MIN_DISTANCE);
-                    let f = self.law.scale(ti, self.type_of(j), x);
-                    let contrib = delta * f;
-                    out[i] -= contrib;
-                    out[j] += contrib;
-                }
-            }
-        }
+        ForceWorkspace::new().net_forces_into(self, positions, out);
     }
 
     /// Sum of per-particle force norms `Σ_i ‖f_i‖₂` — the equilibrium
     /// indicator of §4.1 ("the sum of the L2 norm of the sum of all forces
     /// acting on each particle").
-    pub fn total_force_norm(&self, positions: &[Vec2]) -> f64 {
-        let mut forces = Vec::new();
-        self.net_forces(positions, &mut forces);
-        forces.iter().map(|f| f.norm()).sum()
+    ///
+    /// Scratch space comes from the caller's workspace, so repeated
+    /// equilibrium checks allocate nothing ([`crate::Simulation`] exposes
+    /// this as `total_force_norm()` against its own workspace).
+    pub fn total_force_norm(&self, positions: &[Vec2], ws: &mut ForceWorkspace) -> f64 {
+        ws.total_force_norm(self, positions)
     }
 }
 
@@ -214,7 +182,8 @@ mod tests {
         assert_eq!(f[0], Vec2::ZERO);
         assert_eq!(f[1], Vec2::ZERO);
         // Equilibrium indicator is exactly zero for the decoupled pair.
-        assert_eq!(m.total_force_norm(&pos), 0.0);
+        let mut ws = ForceWorkspace::new();
+        assert_eq!(m.total_force_norm(&pos, &mut ws), 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::integrator::{step, IntegratorConfig};
 use crate::model::Model;
+use crate::workspace::ForceWorkspace;
 use sops_math::{SplitMix64, Vec2};
 
 /// The paper's stopping criterion (§4.1): the collective "is considered to
@@ -88,14 +89,16 @@ impl Trajectory {
     }
 }
 
-/// A running simulation bundling model, integrator configuration, state
-/// and RNG.
+/// A running simulation bundling model, integrator configuration, state,
+/// RNG and the persistent force-evaluation workspace (grid, scratch and
+/// accumulator buffers reused across every substep — a warmed-up
+/// [`Simulation::step`] allocates nothing).
 #[derive(Debug, Clone)]
 pub struct Simulation {
     model: Model,
     cfg: IntegratorConfig,
     positions: Vec<Vec2>,
-    forces: Vec<Vec2>,
+    workspace: ForceWorkspace,
     rng: SplitMix64,
     time_step: usize,
 }
@@ -123,7 +126,7 @@ impl Simulation {
             model,
             cfg,
             positions: initial,
-            forces: Vec::new(),
+            workspace: ForceWorkspace::new(),
             rng: SplitMix64::new(seed),
             time_step: 0,
         }
@@ -161,6 +164,26 @@ impl Simulation {
         self.time_step
     }
 
+    /// The persistent force-evaluation workspace.
+    pub fn workspace(&self) -> &ForceWorkspace {
+        &self.workspace
+    }
+
+    /// Sets the worker-thread count of the force sweep (0 = default).
+    /// Scheduling only — the trajectory is bit-identical for any count.
+    /// Leave at 1 (the default) when running inside a parallel ensemble,
+    /// which already saturates cores across samples.
+    pub fn set_force_threads(&mut self, threads: usize) {
+        self.workspace.set_threads(threads);
+    }
+
+    /// Drift force-norm sum `Σ_i ‖f_i‖₂` at the current configuration,
+    /// computed in the simulation's own workspace without allocating.
+    pub fn total_force_norm(&mut self) -> f64 {
+        self.workspace
+            .total_force_norm(&self.model, &self.positions)
+    }
+
     /// Advances one recorded step; returns the drift force-norm sum at the
     /// start of the step.
     pub fn step(&mut self) -> f64 {
@@ -169,7 +192,7 @@ impl Simulation {
             &self.model,
             &self.cfg,
             &mut self.positions,
-            &mut self.forces,
+            &mut self.workspace,
             &mut self.rng,
         )
     }
@@ -292,7 +315,7 @@ mod tests {
         assert!(reached, "no equilibrium after {steps} steps");
         // Once in equilibrium, all pair distances should be near the
         // preferred distance or a packing compatible with it.
-        let final_norm = sim.model().total_force_norm(sim.positions());
+        let final_norm = sim.total_force_norm();
         assert!(final_norm < 1e-3);
     }
 

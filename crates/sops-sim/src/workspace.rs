@@ -1,0 +1,385 @@
+//! The persistent, allocation-free force-evaluation engine.
+//!
+//! [`crate::Model::net_forces`] is the simulator's hottest kernel: it runs
+//! once per substep per particle system, thousands of times per ensemble.
+//! The naive implementation rebuilt a [`CellGrid`] from scratch each call
+//! (three allocations plus a full point clone), evaluated every
+//! interacting pair twice, and the Heun corrector allocated two more
+//! vectors per recorded step. [`ForceWorkspace`] removes all of that:
+//!
+//! * **Buffer reuse** — the grid is [rebuilt in place](CellGrid::rebuild)
+//!   and every scratch vector (cell-sorted positions/types, per-chunk
+//!   accumulators, force outputs, Heun predictor state) lives in the
+//!   workspace, so a warmed-up `step()` performs zero heap allocations.
+//! * **Cell-sorted half sweep** — positions are gathered into cell order
+//!   once per evaluation, then each cell interacts with itself and its
+//!   *forward* half-neighbourhood (E, SW, S, SE). Every pair is evaluated
+//!   exactly once and the force-scaling — symmetric by the [`ForceLaw`]
+//!   contract — is scattered to both particles with opposite signs
+//!   (Newton's third law), halving law evaluations versus the old
+//!   per-particle gather while reading positions contiguously.
+//! * **Deterministic parallelism** — the cell range is split into
+//!   [`FORCE_CHUNKS`] fixed, thread-count-independent spans. Each chunk
+//!   scatters into its own accumulator and the accumulators are reduced
+//!   in chunk order, so the result is bit-identical for any worker count
+//!   (`sops_par::parallel_chunks_mut` schedules the spans; with 1 worker
+//!   it degenerates to the same sequential sweep). The end-to-end
+//!   determinism suite (`tests/determinism.rs`) relies on this.
+//!
+//! Small systems (`n <` [`Model::grid_threshold`]) and unbounded cut-offs
+//! take the direct `O(n²)` pair loop, which already halves via Newton's
+//! third law and touches no grid state.
+
+use crate::force::ForceLaw;
+use crate::model::Model;
+use sops_math::Vec2;
+use sops_spatial::CellGrid;
+
+/// Number of fixed cell spans the half sweep is partitioned into.
+///
+/// The partition — not the thread count — defines the floating-point
+/// accumulation order, so this is a compile-time constant: results are
+/// bit-identical whether the spans run on 1 thread or 8.
+pub const FORCE_CHUNKS: usize = 8;
+
+/// Reusable buffers for force evaluation and integration.
+///
+/// Owned by [`crate::Simulation`] (one per independent run) and threaded
+/// through [`crate::integrator::step`]. Create one explicitly to drive
+/// [`Model`] force evaluations without a full simulation:
+///
+/// ```
+/// use sops_sim::{ForceModel, ForceWorkspace, LinearForce, Model};
+/// use sops_math::Vec2;
+///
+/// let model = Model::balanced(
+///     3,
+///     ForceModel::Linear(LinearForce::uniform(1.0, 1.0)),
+///     f64::INFINITY,
+/// );
+/// let mut ws = ForceWorkspace::new();
+/// let mut out = Vec::new();
+/// let pos = [Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(4.0, 0.0)];
+/// ws.net_forces_into(&model, &pos, &mut out);
+/// assert_eq!(out.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForceWorkspace {
+    /// Worker threads for the chunked cell sweep (1 = sequential; the
+    /// result is identical either way).
+    threads: usize,
+    grid: CellGrid,
+    /// Positions gathered into cell order (`sorted_pos[k] =
+    /// positions[grid.order()[k]]`).
+    sorted_pos: Vec<Vec2>,
+    /// Particle types in the same cell order.
+    sorted_types: Vec<u16>,
+    /// Per-chunk force accumulators in *original* index space, reduced in
+    /// chunk order for thread-count-independent results.
+    chunks: Vec<Vec<Vec2>>,
+    /// Primary force output of the last [`ForceWorkspace::compute`].
+    forces: Vec<Vec2>,
+    /// Heun corrector-stage forces.
+    forces2: Vec<Vec2>,
+    /// Heun predictor positions.
+    predicted: Vec<Vec2>,
+}
+
+impl Default for ForceWorkspace {
+    fn default() -> Self {
+        ForceWorkspace::new()
+    }
+}
+
+impl ForceWorkspace {
+    /// An empty workspace with a sequential sweep. Buffers grow to the
+    /// workload size on first use and are reused afterwards.
+    pub fn new() -> Self {
+        ForceWorkspace::with_threads(1)
+    }
+
+    /// An empty workspace whose cell sweep runs on up to `threads` worker
+    /// threads (pass 0 for [`sops_par::default_threads`]). The thread
+    /// count affects scheduling only — never the numbers.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            sops_par::default_threads()
+        } else {
+            threads
+        };
+        ForceWorkspace {
+            threads,
+            grid: CellGrid::build(&[], 1.0),
+            sorted_pos: Vec::new(),
+            sorted_types: Vec::new(),
+            chunks: vec![Vec::new(); FORCE_CHUNKS],
+            forces: Vec::new(),
+            forces2: Vec::new(),
+            predicted: Vec::new(),
+        }
+    }
+
+    /// Sets the worker-thread count for the cell sweep (0 = default).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = if threads == 0 {
+            sops_par::default_threads()
+        } else {
+            threads
+        };
+    }
+
+    /// The configured sweep worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes the drift forces into the workspace's primary buffer;
+    /// read them back with [`ForceWorkspace::forces`].
+    pub fn compute(&mut self, model: &Model, positions: &[Vec2]) {
+        let ForceWorkspace {
+            threads,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            forces,
+            ..
+        } = self;
+        compute_into(
+            model,
+            positions,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            *threads,
+            forces,
+        );
+    }
+
+    /// Computes the drift forces into a caller-provided buffer (cleared
+    /// and resized). Allocation-free once the workspace is warm.
+    pub fn net_forces_into(&mut self, model: &Model, positions: &[Vec2], out: &mut Vec<Vec2>) {
+        let ForceWorkspace {
+            threads,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            ..
+        } = self;
+        compute_into(
+            model,
+            positions,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            *threads,
+            out,
+        );
+    }
+
+    /// The forces written by the last [`ForceWorkspace::compute`].
+    pub fn forces(&self) -> &[Vec2] {
+        &self.forces
+    }
+
+    /// Sum of per-particle force norms `Σ_i ‖f_i‖₂` — the equilibrium
+    /// indicator of paper §4.1 — without allocating.
+    pub fn total_force_norm(&mut self, model: &Model, positions: &[Vec2]) -> f64 {
+        self.compute(model, positions);
+        self.forces.iter().map(|f| f.norm()).sum()
+    }
+
+    /// Heun predictor: `predicted = z + clamp(f·h)` from the forces of the
+    /// last [`ForceWorkspace::compute`].
+    pub(crate) fn predict(&mut self, positions: &[Vec2], h: f64, max_step: f64) {
+        self.predicted.clear();
+        self.predicted.extend(
+            positions
+                .iter()
+                .zip(&self.forces)
+                .map(|(z, f)| *z + (*f * h).clamp_norm(max_step)),
+        );
+    }
+
+    /// Heun corrector stage: forces at the predicted positions, into the
+    /// secondary buffer; read back with [`ForceWorkspace::corrector_forces`].
+    pub(crate) fn compute_corrector(&mut self, model: &Model) {
+        let ForceWorkspace {
+            threads,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            forces2,
+            predicted,
+            ..
+        } = self;
+        compute_into(
+            model,
+            predicted,
+            grid,
+            sorted_pos,
+            sorted_types,
+            chunks,
+            *threads,
+            forces2,
+        );
+    }
+
+    /// The forces written by the last [`ForceWorkspace::compute_corrector`].
+    pub(crate) fn corrector_forces(&self) -> &[Vec2] {
+        &self.forces2
+    }
+
+    /// Capacities of every internal buffer. A warmed-up workspace driving
+    /// a bounded workload must keep this signature constant — the
+    /// zero-allocation contract tested in `tests/workspace_forces.rs`.
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![
+            self.sorted_pos.capacity(),
+            self.sorted_types.capacity(),
+            self.forces.capacity(),
+            self.forces2.capacity(),
+            self.predicted.capacity(),
+        ];
+        sig.extend(self.chunks.iter().map(Vec::capacity));
+        sig.extend(self.grid.capacity_signature());
+        sig
+    }
+}
+
+/// The engine core, taking split borrows so callers can route any
+/// workspace buffer (primary, corrector) as the output.
+#[allow(clippy::too_many_arguments)]
+fn compute_into(
+    model: &Model,
+    positions: &[Vec2],
+    grid: &mut CellGrid,
+    sorted_pos: &mut Vec<Vec2>,
+    sorted_types: &mut Vec<u16>,
+    chunks: &mut [Vec<Vec2>],
+    threads: usize,
+    out: &mut Vec<Vec2>,
+) {
+    let n = positions.len();
+    assert_eq!(n, model.particles(), "net_forces: position count mismatch");
+    out.clear();
+    out.resize(n, Vec2::ZERO);
+    let cutoff = model.cutoff();
+    let law = model.law();
+    if !cutoff.is_finite() || n < Model::grid_threshold() {
+        // Direct pair loop, exploiting Newton's third law: the symmetric
+        // force-scaling makes pair contributions equal and opposite.
+        let r2 = if cutoff.is_finite() {
+            cutoff * cutoff
+        } else {
+            f64::INFINITY
+        };
+        for i in 0..n {
+            let ti = model.type_of(i);
+            let zi = positions[i];
+            for j in (i + 1)..n {
+                let delta = zi - positions[j];
+                let d2 = delta.norm_sq();
+                if d2 > r2 {
+                    continue;
+                }
+                let x = d2.sqrt().max(crate::model::MIN_DISTANCE);
+                let f = law.scale(ti, model.type_of(j), x);
+                let contrib = delta * f;
+                out[i] -= contrib;
+                out[j] += contrib;
+            }
+        }
+        return;
+    }
+
+    // Grid path: rebuild in place, gather into cell order, half sweep.
+    grid.rebuild(positions, cutoff);
+    let order = grid.order();
+    let types = model.types();
+    sorted_pos.clear();
+    sorted_pos.extend(order.iter().map(|&i| positions[i as usize]));
+    sorted_types.clear();
+    sorted_types.extend(order.iter().map(|&i| types[i as usize]));
+    for buf in chunks.iter_mut() {
+        buf.clear();
+        buf.resize(n, Vec2::ZERO);
+    }
+
+    let ncells = grid.cells();
+    let (nx, ny) = grid.shape();
+    let r2 = cutoff * cutoff;
+    let nchunks = chunks.len();
+    let grid = &*grid;
+    let sorted_pos = &sorted_pos[..];
+    let sorted_types = &sorted_types[..];
+
+    // Each chunk sweeps a fixed span of cells into its own accumulator;
+    // the partition depends only on the grid shape, never on `threads`.
+    sops_par::parallel_chunks_mut(chunks, nchunks, threads, |c, bufs| {
+        let buf = bufs[0].as_mut_slice();
+        let lo = c * ncells / nchunks;
+        let hi = (c + 1) * ncells / nchunks;
+        let pair = |a: usize, b: usize, buf: &mut [Vec2]| {
+            let delta = sorted_pos[a] - sorted_pos[b];
+            let d2 = delta.norm_sq();
+            if d2 <= r2 {
+                let x = d2.sqrt().max(crate::model::MIN_DISTANCE);
+                let f = law.scale(sorted_types[a] as usize, sorted_types[b] as usize, x);
+                let contrib = delta * f;
+                buf[order[a] as usize] -= contrib;
+                buf[order[b] as usize] += contrib;
+            }
+        };
+        for cell in lo..hi {
+            let (a0, a1) = grid.cell_bounds(cell);
+            if a0 == a1 {
+                continue;
+            }
+            let cx = cell % nx;
+            let cy = cell / nx;
+            // Pairs within the cell.
+            for a in a0..a1 {
+                for b in (a + 1)..a1 {
+                    pair(a, b, buf);
+                }
+            }
+            // Forward half-neighbourhood: E, SW, S, SE. Every unordered
+            // cell pair is visited exactly once across the whole sweep.
+            let east = cx + 1 < nx;
+            let south = cy + 1 < ny;
+            let cross = |other: usize, buf: &mut [Vec2]| {
+                let (b0, b1) = grid.cell_bounds(other);
+                for a in a0..a1 {
+                    for b in b0..b1 {
+                        pair(a, b, buf);
+                    }
+                }
+            };
+            if east {
+                cross(cell + 1, buf);
+            }
+            if south {
+                if cx > 0 {
+                    cross(cell + nx - 1, buf);
+                }
+                cross(cell + nx, buf);
+                if east {
+                    cross(cell + nx + 1, buf);
+                }
+            }
+        }
+    });
+
+    // Ordered reduction: per particle, chunk 0 + chunk 1 + … — the same
+    // floating-point order for every thread count.
+    for buf in chunks.iter() {
+        for (o, &v) in out.iter_mut().zip(buf.iter()) {
+            *o += v;
+        }
+    }
+}

@@ -12,6 +12,12 @@ use sops_math::Vec2;
 /// A uniform grid over 2-D points supporting radius-bounded neighbour
 /// iteration. Uses a CSR layout (offsets + packed indices) to avoid
 /// per-cell allocations.
+///
+/// The grid can be [rebuilt in place](CellGrid::rebuild) every simulation
+/// substep: all internal buffers (offsets, the packed index list, the
+/// point copy and the counting-sort cursor) are reused, so a warmed-up
+/// grid performs zero heap allocations while the particle count and cell
+/// occupancy stay within previously seen bounds.
 #[derive(Debug, Clone)]
 pub struct CellGrid {
     cell: f64,
@@ -22,35 +28,65 @@ pub struct CellGrid {
     offsets: Vec<u32>,
     items: Vec<u32>,
     points: Vec<Vec2>,
+    /// Counting-sort cursor, kept around so `rebuild` allocates nothing.
+    cursor: Vec<u32>,
 }
 
 impl CellGrid {
     /// Builds a grid with cells of size `cell_size` covering the bounding
     /// box of `points`.
     ///
-    /// `cell_size` should be ≥ the query radius used later so that the 3×3
-    /// neighbourhood sweep is exhaustive; [`CellGrid::for_neighbors`]
-    /// asserts this in debug builds.
+    /// `cell_size` must be ≥ the query radius used later so that the 3×3
+    /// neighbourhood sweep is exhaustive — strictly larger cells are
+    /// first-class (queries with a radius *smaller* than the cell size
+    /// stay exact, they just scan more candidates per cell);
+    /// [`CellGrid::for_neighbors`] checks the invariant in debug builds.
     ///
     /// # Panics
     ///
     /// Panics if `cell_size` is not finite and positive.
     pub fn build(points: &[Vec2], cell_size: f64) -> Self {
+        let mut grid = CellGrid {
+            cell: cell_size,
+            origin: Vec2::ZERO,
+            nx: 1,
+            ny: 1,
+            offsets: Vec::new(),
+            items: Vec::new(),
+            points: Vec::new(),
+            cursor: Vec::new(),
+        };
+        grid.rebuild(points, cell_size);
+        grid
+    }
+
+    /// Re-indexes the grid over a new point set, reusing every internal
+    /// buffer. Semantically identical to `*self = CellGrid::build(points,
+    /// cell_size)` but allocation-free once the buffers have grown to the
+    /// workload's steady-state size — this is the per-substep entry point
+    /// of the simulator's force workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive.
+    pub fn rebuild(&mut self, points: &[Vec2], cell_size: f64) {
         assert!(
             cell_size.is_finite() && cell_size > 0.0,
             "CellGrid: cell size must be positive and finite"
         );
+        self.cell = cell_size;
+        self.points.clear();
+        self.points.extend_from_slice(points);
         if points.is_empty() {
-            return CellGrid {
-                cell: cell_size,
-                origin: Vec2::ZERO,
-                nx: 1,
-                ny: 1,
-                offsets: vec![0, 0],
-                items: Vec::new(),
-                points: Vec::new(),
-            };
+            self.origin = Vec2::ZERO;
+            self.nx = 1;
+            self.ny = 1;
+            self.offsets.clear();
+            self.offsets.extend_from_slice(&[0, 0]);
+            self.items.clear();
+            return;
         }
+        debug_assert!(points.len() <= u32::MAX as usize, "CellGrid: u32 indices");
         let mut lo = points[0];
         let mut hi = points[0];
         for &p in points {
@@ -60,37 +96,32 @@ impl CellGrid {
         let nx = (((hi.x - lo.x) / cell_size).floor() as usize + 1).max(1);
         let ny = (((hi.y - lo.y) / cell_size).floor() as usize + 1).max(1);
         let ncells = nx * ny;
+        self.origin = lo;
+        self.nx = nx;
+        self.ny = ny;
 
-        // Counting sort into cells.
+        // Counting sort into cells, entirely within reused buffers.
         let cell_of = |p: Vec2| -> usize {
             let cx = (((p.x - lo.x) / cell_size) as usize).min(nx - 1);
             let cy = (((p.y - lo.y) / cell_size) as usize).min(ny - 1);
             cy * nx + cx
         };
-        let mut counts = vec![0u32; ncells + 1];
+        self.offsets.clear();
+        self.offsets.resize(ncells + 1, 0);
         for &p in points {
-            counts[cell_of(p) + 1] += 1;
+            self.offsets[cell_of(p) + 1] += 1;
         }
         for c in 0..ncells {
-            counts[c + 1] += counts[c];
+            self.offsets[c + 1] += self.offsets[c];
         }
-        let offsets = counts.clone();
-        let mut cursor = counts;
-        let mut items = vec![0u32; points.len()];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets);
+        self.items.clear();
+        self.items.resize(points.len(), 0);
         for (i, &p) in points.iter().enumerate() {
             let c = cell_of(p);
-            items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-
-        CellGrid {
-            cell: cell_size,
-            origin: lo,
-            nx,
-            ny,
-            offsets,
-            items,
-            points: points.to_vec(),
+            self.items[self.cursor[c] as usize] = i as u32;
+            self.cursor[c] += 1;
         }
     }
 
@@ -109,6 +140,41 @@ impl CellGrid {
         (self.nx, self.ny)
     }
 
+    /// Number of grid cells `nx · ny`. Cell `c` sits at column `c % nx`,
+    /// row `c / nx`.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// The indexed point ids in cell order — the CSR payload. Cell `c`
+    /// owns the slice `order()[a..b]` with `(a, b) = cell_bounds(c)`.
+    ///
+    /// This doubles as a cache-coherent iteration order: gathering
+    /// positions as `order().map(|i| points[i])` yields a layout where
+    /// each cell's points are contiguous, which is what the simulator's
+    /// half-neighbourhood force sweep iterates over.
+    pub fn order(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Half-open range `(start, end)` into [`CellGrid::order`] for cell
+    /// `c`.
+    pub fn cell_bounds(&self, c: usize) -> (usize, usize) {
+        (self.offsets[c] as usize, self.offsets[c + 1] as usize)
+    }
+
+    /// Capacities of every internal buffer, for allocation-stability
+    /// assertions: a warmed-up grid rebuilt over a workload of bounded
+    /// size must keep this signature constant.
+    pub fn capacity_signature(&self) -> [usize; 4] {
+        [
+            self.offsets.capacity(),
+            self.items.capacity(),
+            self.points.capacity(),
+            self.cursor.capacity(),
+        ]
+    }
+
     #[inline]
     fn cell_coords(&self, p: Vec2) -> (usize, usize) {
         let cx = (((p.x - self.origin.x) / self.cell) as usize).min(self.nx - 1);
@@ -121,6 +187,12 @@ impl CellGrid {
     ///
     /// `exclude` is typically the queried particle's own index; pass
     /// `usize::MAX` to exclude nothing.
+    ///
+    /// Any `radius ≤ cell_size` is supported — the grid need not be built
+    /// with a cell size exactly equal to the query radius. A cut-off
+    /// *smaller* than the cell stays exact (the 3×3 sweep over-scans and
+    /// the distance test filters); only `radius > cell_size` would make
+    /// the sweep non-exhaustive, which the debug assertion rejects.
     pub fn for_neighbors(
         &self,
         query: Vec2,
@@ -130,7 +202,8 @@ impl CellGrid {
     ) {
         debug_assert!(
             radius <= self.cell * (1.0 + 1e-12),
-            "CellGrid: query radius {radius} exceeds cell size {}",
+            "CellGrid: query radius {radius} exceeds cell size {} (the 3×3 \
+             sweep would miss neighbours; rebuild with cell_size >= radius)",
             self.cell
         );
         if self.is_empty() {
@@ -256,8 +329,97 @@ mod tests {
         assert_eq!(found, vec![(1, 0.0)]);
     }
 
+    #[test]
+    fn query_radius_smaller_than_cell_is_exact() {
+        // A grid built with cells much larger than the cut-off must answer
+        // small-radius queries exactly (the sweep over-scans, the distance
+        // test filters).
+        let pts: Vec<Vec2> = (0..60)
+            .map(|i| Vec2::new((i % 10) as f64 * 0.4, (i / 10) as f64 * 0.4))
+            .collect();
+        let g = CellGrid::build(&pts, 3.0);
+        let radius = 0.45;
+        assert_eq!(
+            g.pairs_within(radius),
+            brute::pairs_within(2, &to_flat(&pts), radius)
+        );
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut g = CellGrid::build(&[Vec2::ZERO], 1.0);
+        for seed in 0..4u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 50.0 - 10.0
+            };
+            let pts: Vec<Vec2> = (0..50 + seed as usize * 17)
+                .map(|_| Vec2::new(next(), next()))
+                .collect();
+            let cell = 1.0 + seed as f64 * 0.7;
+            g.rebuild(&pts, cell);
+            let fresh = CellGrid::build(&pts, cell);
+            assert_eq!(g.shape(), fresh.shape());
+            assert_eq!(g.order(), fresh.order());
+            assert_eq!(g.pairs_within(cell), fresh.pairs_within(cell));
+        }
+        // Shrinking back to the empty set must also work in place.
+        g.rebuild(&[], 2.0);
+        assert!(g.is_empty());
+        assert!(g.pairs_within(2.0).is_empty());
+    }
+
+    #[test]
+    fn rebuild_is_allocation_stable() {
+        let pts: Vec<Vec2> = (0..120)
+            .map(|i| Vec2::new((i % 12) as f64 * 0.9, (i / 12) as f64 * 0.9))
+            .collect();
+        let mut g = CellGrid::build(&pts, 1.5);
+        let sig = g.capacity_signature();
+        for _ in 0..50 {
+            g.rebuild(&pts, 1.5);
+            assert_eq!(g.capacity_signature(), sig, "rebuild must not allocate");
+        }
+    }
+
+    #[test]
+    fn cell_order_accessors_are_consistent() {
+        let pts: Vec<Vec2> = (0..33)
+            .map(|i| Vec2::new((i % 6) as f64, (i / 6) as f64))
+            .collect();
+        let g = CellGrid::build(&pts, 1.0);
+        let mut seen = vec![false; pts.len()];
+        let mut total = 0usize;
+        for c in 0..g.cells() {
+            let (a, b) = g.cell_bounds(c);
+            assert!(a <= b && b <= g.len());
+            for &i in &g.order()[a..b] {
+                assert!(!seen[i as usize], "point {i} listed twice");
+                seen[i as usize] = true;
+                total += 1;
+            }
+        }
+        assert_eq!(total, pts.len(), "every point appears in exactly one cell");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pairs_with_radius_below_cell_match_brute(
+            coords in proptest::collection::vec((-15.0..15.0f64, -15.0..15.0f64), 1..60),
+            radius in 0.1..2.0f64,
+            slack in 1.0..4.0f64
+        ) {
+            // Build with cell size >= radius (not exactly equal): queries
+            // must stay exhaustive and exact.
+            let pts: Vec<Vec2> = coords.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+            let g = CellGrid::build(&pts, radius * slack);
+            prop_assert_eq!(g.pairs_within(radius), brute::pairs_within(2, &to_flat(&pts), radius));
+        }
 
         #[test]
         fn pairs_match_brute(

@@ -68,8 +68,8 @@ pub mod prelude {
     pub use sops_math::{Matrix, PairMatrix, SplitMix64, Vec2};
     pub use sops_shape::{icp_align, IcpConfig, RigidTransform};
     pub use sops_sim::{
-        run_ensemble, EnsembleSpec, EquilibriumCriterion, ForceModel, GaussianForce,
-        IntegratorConfig, LinearForce, Model, Simulation,
+        run_ensemble, EnsembleSpec, EquilibriumCriterion, ForceModel, ForceWorkspace,
+        GaussianForce, IntegratorConfig, LinearForce, Model, Simulation,
     };
 }
 

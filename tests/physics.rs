@@ -136,7 +136,7 @@ fn equilibrium_detection_matches_force_freeze() {
     let (steps, reached) = sim.run_to_equilibrium(criterion, 5000);
     assert!(reached, "deterministic attracting system equilibrates");
     assert!(steps < 5000);
-    assert!(model.total_force_norm(sim.positions()) < 1e-4);
+    assert!(sim.total_force_norm() < 1e-4);
 }
 
 #[test]

@@ -19,9 +19,29 @@
 //! numbers are honest wall-clock medians, good enough for spotting
 //! order-of-magnitude regressions in CI logs and for the ablation sweeps in
 //! `crates/sops-bench`.
+//!
+//! Two harness flags (passed after `--`, e.g. `cargo bench --bench
+//! simulation -- --quick --save-json`) extend the real criterion's CLI:
+//!
+//! * `--quick` — shrink warm-up/measure budgets ~6× for CI smoke runs;
+//! * `--save-json[=PATH]` — after all groups run, write every result as
+//!   machine-readable JSON (default path `BENCH_<bench-name>.json`, the
+//!   bench name derived from the executable). Each entry carries the
+//!   full benchmark id, the median ns/iter and the iteration count, so
+//!   the perf trajectory is diffable across commits.
 
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results collected by every benchmark run in this process, in execution
+/// order: `(full id, median seconds/iter, total iterations)`.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// `--quick` mode: reduced time budgets for CI smoke runs.
+static QUICK: AtomicBool = AtomicBool::new(false);
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -142,10 +162,16 @@ const MEASURE: Duration = Duration::from_millis(400);
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = QUICK.load(Ordering::Relaxed);
+        let (warm_up, measure, sample_size) = if quick {
+            (WARM_UP / 6, MEASURE / 6, self.sample_size.min(10))
+        } else {
+            (WARM_UP, MEASURE, self.sample_size)
+        };
         // Warm-up: also sizes the batch so each timed batch is ~1ms.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARM_UP {
+        while warm_start.elapsed() < warm_up {
             std_black_box(f());
             warm_iters += 1;
         }
@@ -155,8 +181,8 @@ impl Bencher {
         let mut samples = Vec::new();
         let measure_start = Instant::now();
         let mut total_iters: u64 = 0;
-        while samples.len() < self.sample_size
-            && (samples.is_empty() || measure_start.elapsed() < MEASURE)
+        while samples.len() < sample_size
+            && (samples.is_empty() || measure_start.elapsed() < measure)
         {
             let t = Instant::now();
             for _ in 0..batch {
@@ -188,6 +214,82 @@ fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Ben
         "bench {full} ... median {scaled:.3} {unit}/iter (n = {})",
         b.iters
     );
+    RESULTS
+        .lock()
+        .expect("criterion: results poisoned")
+        .push((full, b.median, b.iters));
+}
+
+/// Parses the harness flags out of the process arguments. Returns the
+/// JSON output path if `--save-json` was requested; unknown flags (e.g.
+/// cargo's own `--bench`) are ignored, matching real criterion's
+/// tolerance. Called by [`criterion_main!`] before any group runs.
+pub fn parse_harness_args() -> Option<PathBuf> {
+    let mut save: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            QUICK.store(true, Ordering::Relaxed);
+        } else if arg == "--save-json" {
+            save = Some(default_json_path());
+        } else if let Some(path) = arg.strip_prefix("--save-json=") {
+            save = Some(PathBuf::from(path));
+        }
+    }
+    save
+}
+
+/// `BENCH_<bench-name>.json` in the working directory, the bench name
+/// taken from the executable stem minus cargo's trailing `-<hash>`.
+fn default_json_path() -> PathBuf {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    let name = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => stem,
+    };
+    PathBuf::from(format!("BENCH_{name}.json"))
+}
+
+/// Serializes every collected result. `quick` runs are flagged so a
+/// perf-tracking consumer never compares smoke numbers against full ones.
+fn results_to_json(results: &[(String, f64, u64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"quick\": {},\n  \"results\": [\n",
+        QUICK.load(Ordering::Relaxed)
+    ));
+    for (i, (name, median, iters)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"median_ns\": {:.3}, \"iters\": {iters}}}{}\n",
+            median * 1e9,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes collected results to `path` if saving was requested. Called by
+/// [`criterion_main!`] after every group has run.
+pub fn save_results(path: Option<PathBuf>) {
+    let Some(path) = path else { return };
+    let results = RESULTS.lock().expect("criterion: results poisoned");
+    let json = results_to_json(&results);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench results saved to {}", path.display()),
+        Err(e) => eprintln!("criterion: failed to write {}: {e}", path.display()),
+    }
 }
 
 fn scale_seconds(s: f64) -> (f64, &'static str) {
@@ -220,12 +322,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Mirror of `criterion_main!`.
+/// Mirror of `criterion_main!`, extended with the harness flags: parses
+/// `--quick` / `--save-json` up front and writes the JSON results file
+/// after all groups have run.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let save = $crate::parse_harness_args();
             $($group();)+
+            $crate::save_results(save);
         }
     };
 }
@@ -239,6 +345,28 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("m10").id, "m10");
         assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn json_serialization_shape() {
+        let results = vec![
+            ("net_forces/cutoff_grid/512".to_string(), 34.459e-6, 810u64),
+            ("with \"quote\"".to_string(), 1.5e-9, 2),
+        ];
+        let json = results_to_json(&results);
+        assert!(json.contains("\"name\": \"net_forces/cutoff_grid/512\""));
+        assert!(json.contains("\"median_ns\": 34459.000"));
+        assert!(json.contains("\"iters\": 810"));
+        assert!(json.contains("with \\\"quote\\\""));
+        assert!(json.contains("\"results\": ["));
+        // Exactly one separating comma between the two entries.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_handles_empty_results() {
+        let json = results_to_json(&[]);
+        assert!(json.contains("\"results\": [\n  ]"));
     }
 
     #[test]
