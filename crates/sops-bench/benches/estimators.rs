@@ -32,6 +32,7 @@ fn bench_ksg_variants(c: &mut Criterion) {
                             k: 4,
                             variant,
                             threads: 1,
+                            ..KsgConfig::default()
                         },
                     )
                 })
@@ -53,6 +54,55 @@ fn bench_ksg_scaling(c: &mut Criterion) {
             |b, view| b.iter(|| multi_information(black_box(view), &KsgConfig::default())),
         );
     }
+    group.finish();
+}
+
+fn bench_pairwise_matrix(c: &mut Criterion) {
+    // The §7.3 interaction-structure diagnostic: all-pairs scalar MI. The
+    // joint spaces are 2-dimensional, the regime where the kd-tree kNN
+    // path (and per-view tree sharing) pays off.
+    let mut group = c.benchmark_group("pairwise_matrix");
+    group.sample_size(10);
+    for &(m, blocks) in &[(300usize, 12usize), (600, 16)] {
+        let (data, sizes) = fixture(m, blocks);
+        let view = SampleView::new(&data, m, &sizes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_n{blocks}")),
+            &view,
+            |b, view| {
+                b.iter(|| {
+                    sops_info::ksg::pairwise_mi_matrix(
+                        black_box(view),
+                        &KsgConfig {
+                            threads: 1,
+                            ..KsgConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // Persistent `InfoWorkspace` vs the throwaway-workspace shim: the gap
+    // is the per-call buffer growth the persistent engine amortizes.
+    let mut group = c.benchmark_group("ksg_workspace");
+    group.sample_size(15);
+    let (data, sizes) = fixture(500, 10);
+    let view = SampleView::new(&data, 500, &sizes);
+    let cfg = KsgConfig {
+        threads: 1,
+        ..KsgConfig::default()
+    };
+    let mut ws = sops_info::InfoWorkspace::new();
+    group.bench_function("persistent", |b| {
+        b.iter(|| ws.multi_information(black_box(&view), &cfg))
+    });
+    group.bench_function("one_shot", |b| {
+        b.iter(|| multi_information(black_box(&view), &cfg))
+    });
     group.finish();
 }
 
@@ -117,6 +167,8 @@ criterion_group!(
     benches,
     bench_ksg_variants,
     bench_ksg_scaling,
+    bench_pairwise_matrix,
+    bench_workspace_reuse,
     bench_ksg_k_sensitivity,
     bench_estimator_comparison,
     bench_kl_entropy

@@ -21,6 +21,12 @@ fn bench_kdtree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("knn10", n), &tree, |b, tree| {
             b.iter(|| tree.knn(black_box(&[0.3, -0.7]), 10))
         });
+        // Larger k stresses the leaf-insertion structure: the bounded
+        // max-heap sift is O(log k) per accepted point where the old
+        // insertion re-sorted the whole candidate buffer.
+        group.bench_with_input(BenchmarkId::new("knn64", n), &tree, |b, tree| {
+            b.iter(|| tree.knn(black_box(&[0.3, -0.7]), 64))
+        });
         group.bench_with_input(BenchmarkId::new("count_within", n), &tree, |b, tree| {
             b.iter(|| tree.count_within(black_box(&[0.3, -0.7]), 5.0, true))
         });

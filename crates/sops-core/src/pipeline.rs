@@ -2,8 +2,8 @@
 //! multi-information series (and optional Eq. 5 decomposition series).
 
 use crate::observers::{build_observers, ObserverMode};
-use sops_info::decomposition::{decompose, Decomposition, Grouping};
-use sops_info::KsgConfig;
+use sops_info::decomposition::{Decomposition, Grouping};
+use sops_info::{InfoWorkspace, KsgConfig};
 use sops_shape::ensemble::{reduce_configurations, ReduceConfig};
 use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 
@@ -120,6 +120,10 @@ pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
     };
 
     // Outer parallelism over evaluation steps; inner stages sequential.
+    // Each eval worker owns one persistent `InfoWorkspace`, so per-block
+    // indexes and estimator scratch are reused across the time steps that
+    // worker claims (results are independent of the claim schedule — the
+    // workspace caches only buffer capacity).
     let inner_reduce = ReduceConfig {
         threads: 1,
         ..p.reduce
@@ -128,19 +132,23 @@ pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
         threads: 1,
         ..p.estimator
     };
-    let per_step: Vec<(f64, f64)> = sops_par::parallel_map(times.len(), threads, |ti| {
-        let t = times[ti];
-        let slice = ensemble.at_time(t);
-        let reduced = reduce_configurations(&slice, &types, &inner_reduce);
-        let mean_cost = if reduced.icp_costs.is_empty() {
-            0.0
-        } else {
-            reduced.icp_costs.iter().sum::<f64>() / reduced.icp_costs.len() as f64
-        };
-        let observers = build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
-        let mi = sops_info::multi_information(&observers.view(), &inner_est);
-        (mi, mean_cost)
-    });
+    let mut workspaces: Vec<InfoWorkspace> =
+        (0..threads.max(1)).map(|_| InfoWorkspace::new()).collect();
+    let per_step: Vec<(f64, f64)> =
+        sops_par::parallel_map_with(times.len(), &mut workspaces, |ws, ti| {
+            let t = times[ti];
+            let slice = ensemble.at_time(t);
+            let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+            let mean_cost = if reduced.icp_costs.is_empty() {
+                0.0
+            } else {
+                reduced.icp_costs.iter().sum::<f64>() / reduced.icp_costs.len() as f64
+            };
+            let observers =
+                build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
+            let mi = ws.multi_information(&observers.view(), &inner_est);
+            (mi, mean_cost)
+        });
 
     let values: Vec<f64> = per_step.iter().map(|&(mi, _)| mi).collect();
     let mean_icp_cost: Vec<f64> = per_step.iter().map(|&(_, c)| c).collect();
@@ -189,14 +197,18 @@ pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionS
         threads: 1,
         ..p.estimator
     };
-    let terms: Vec<Decomposition> = sops_par::parallel_map(times.len(), threads, |ti| {
-        let t = times[ti];
-        let slice = ensemble.at_time(t);
-        let reduced = reduce_configurations(&slice, &types, &inner_reduce);
-        let observers = build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
-        let grouping = Grouping::from_labels(&observers.block_types);
-        decompose(&observers.view(), &grouping, &inner_est)
-    });
+    let mut workspaces: Vec<InfoWorkspace> =
+        (0..threads.max(1)).map(|_| InfoWorkspace::new()).collect();
+    let terms: Vec<Decomposition> =
+        sops_par::parallel_map_with(times.len(), &mut workspaces, |ws, ti| {
+            let t = times[ti];
+            let slice = ensemble.at_time(t);
+            let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+            let observers =
+                build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
+            let grouping = Grouping::from_labels(&observers.block_types);
+            ws.decompose(&observers.view(), &grouping, &inner_est)
+        });
     DecompositionSeries { times, terms }
 }
 

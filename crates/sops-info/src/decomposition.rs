@@ -15,7 +15,8 @@
 //! so the identity holds only in expectation — the `decomposition`
 //! integration test checks the residual on analytic Gaussians.
 
-use crate::ksg::{multi_information, KsgConfig};
+use crate::ksg::KsgConfig;
+use crate::workspace::InfoWorkspace;
 use crate::SampleView;
 
 /// A partition of observer blocks into coarse groups.
@@ -96,50 +97,13 @@ impl Decomposition {
 
 /// Estimates every term of the Eq. 5 decomposition of `view` under
 /// `grouping`.
+///
+/// Convenience shim over [`InfoWorkspace::decompose`], which shares the
+/// per-block count indexes between the total and every within-group term
+/// instead of rebuilding them per term; repeated callers should hold a
+/// workspace.
 pub fn decompose(view: &SampleView<'_>, grouping: &Grouping, cfg: &KsgConfig) -> Decomposition {
-    grouping.validate(view.blocks());
-    let total = multi_information(view, cfg);
-
-    // Between-group term: merge each group's blocks into one coarse block.
-    let coarse_sizes: Vec<usize> = grouping
-        .groups
-        .iter()
-        .map(|members| members.iter().map(|&b| view.block_sizes[b]).sum())
-        .collect();
-    let merged_per_group: Vec<Vec<f64>> = grouping
-        .groups
-        .iter()
-        .map(|members| view.merged_blocks(members))
-        .collect();
-    let mut coarse_data = Vec::with_capacity(view.rows * view.stride());
-    for r in 0..view.rows {
-        for (g, w) in coarse_sizes.iter().enumerate() {
-            coarse_data.extend_from_slice(&merged_per_group[g][r * w..(r + 1) * w]);
-        }
-    }
-    let coarse_view = SampleView::new(&coarse_data, view.rows, &coarse_sizes);
-    let between = multi_information(&coarse_view, cfg);
-
-    // Within-group terms.
-    let within: Vec<f64> = grouping
-        .groups
-        .iter()
-        .enumerate()
-        .map(|(g, members)| {
-            if members.len() < 2 {
-                return 0.0;
-            }
-            let sizes: Vec<usize> = members.iter().map(|&b| view.block_sizes[b]).collect();
-            let sub_view = SampleView::new(&merged_per_group[g], view.rows, &sizes);
-            multi_information(&sub_view, cfg)
-        })
-        .collect();
-
-    Decomposition {
-        total,
-        between,
-        within,
-    }
+    InfoWorkspace::new().decompose(view, grouping, cfg)
 }
 
 #[cfg(test)]

@@ -34,11 +34,9 @@
 //! The `estimators` bench and `estimator_shootout` example reproduce the
 //! calibration comparison.
 
+use crate::workspace::InfoWorkspace;
 use crate::SampleView;
-use sops_math::special::digamma;
-use sops_math::NATS_TO_BITS;
-use sops_spatial::block_max::{knn_block_max, BlockPoints};
-use sops_spatial::KdTree;
+use sops_math::PairMatrix;
 
 /// Which KSG formula to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +57,27 @@ pub enum KsgVariant {
     Ksg2,
 }
 
+/// How the joint-space k-NN search is performed.
+///
+/// Both paths return identical results (the tree descent computes the
+/// same block-max distances); the choice is purely a performance
+/// trade-off on the joint dimension, which [`KnnMode::Auto`] makes per
+/// term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnMode {
+    /// Kd-tree descent for small joint dimensions (pairwise scalar MI),
+    /// pruned brute-force scan where trees degenerate (high-dimensional
+    /// joint spaces). The default.
+    #[default]
+    Auto,
+    /// Always the pruned brute-force scan.
+    BruteForce,
+    /// The iterative kd-tree descent whenever structurally possible
+    /// (joint dimension within the kd-tree's 255-dim limit; wider joint
+    /// spaces fall back to the scan).
+    KdTree,
+}
+
 /// KSG configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct KsgConfig {
@@ -67,8 +86,11 @@ pub struct KsgConfig {
     pub k: usize,
     /// Formula variant.
     pub variant: KsgVariant,
-    /// Worker threads (0 = default).
+    /// Worker threads (0 = default). Results are bit-identical for any
+    /// thread count.
     pub threads: usize,
+    /// Joint k-NN strategy (default: adaptive).
+    pub knn: KnnMode,
 }
 
 impl Default for KsgConfig {
@@ -77,6 +99,7 @@ impl Default for KsgConfig {
             k: 4,
             variant: KsgVariant::default(),
             threads: 0,
+            knn: KnnMode::default(),
         }
     }
 }
@@ -100,105 +123,13 @@ impl Default for KsgConfig {
 /// # Panics
 ///
 /// Panics if `cfg.k == 0` or `cfg.k >= rows`.
+///
+/// This is a convenience shim over [`InfoWorkspace::multi_information`]
+/// that spins up a throwaway workspace; repeated callers (the pipeline's
+/// evaluation loop, parameter sweeps) should hold an [`InfoWorkspace`]
+/// and reuse it.
 pub fn multi_information(view: &SampleView<'_>, cfg: &KsgConfig) -> f64 {
-    let n = view.blocks();
-    if n < 2 {
-        return 0.0;
-    }
-    assert!(cfg.k >= 1, "KSG: k must be >= 1");
-    assert!(
-        cfg.k < view.rows,
-        "KSG: k = {} needs more than {} samples",
-        cfg.k,
-        view.rows
-    );
-    let m = view.rows;
-    let points = BlockPoints::new(view.data, m, view.block_sizes);
-
-    // Per-block kd-trees for the range counts.
-    let trees: Vec<KdTree> = (0..n)
-        .map(|b| KdTree::build(view.block_sizes[b], &view.block_columns(b)))
-        .collect();
-
-    let threads = if cfg.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        cfg.threads
-    };
-
-    // ⟨Σ_b ψ(count_b)⟩ accumulated over samples, in parallel.
-    let psi_sum = sops_par::parallel_reduce(
-        m,
-        threads,
-        || 0.0f64,
-        |acc, i| {
-            let neighbours = knn_block_max(&points, i, cfg.k);
-            let kth = neighbours.last().expect("KSG: k-th neighbour must exist").0;
-            let mut local = 0.0;
-            match cfg.variant {
-                KsgVariant::Paper => {
-                    // Literal Eq. 20: per-block radius taken from the k-th
-                    // neighbour alone, strict count, self subtracted.
-                    let radii = points.block_dists(i, kth);
-                    for (b, tree) in trees.iter().enumerate() {
-                        let q = points.block(i, b);
-                        // Strict count includes self (distance 0), then −1
-                        // removes it. Clamped at 1: a zero count occurs
-                        // when the k-th neighbour's block coincides with
-                        // the nearest, where ψ would diverge.
-                        let c = tree
-                            .count_within(q, radii[b], true)
-                            .saturating_sub(1)
-                            .max(1);
-                        local += digamma(c as f64);
-                    }
-                }
-                KsgVariant::Ksg2 => {
-                    // Rectangle geometry of Kraskov's estimator 2: the
-                    // per-block radius is the largest block-b distance over
-                    // *all* k nearest neighbours, counts inclusive.
-                    let mut radii = vec![0.0f64; n];
-                    for &(j, _) in &neighbours {
-                        for (b, r) in points.block_dists(i, j).into_iter().enumerate() {
-                            if r > radii[b] {
-                                radii[b] = r;
-                            }
-                        }
-                    }
-                    for (b, tree) in trees.iter().enumerate() {
-                        let q = points.block(i, b);
-                        // Inclusive count; the radius-realizing neighbour
-                        // is always inside, so c ≥ 1 after removing self.
-                        let c = tree.count_within(q, radii[b], false) - 1;
-                        local += digamma(c as f64);
-                    }
-                }
-                KsgVariant::Ksg1 => {
-                    // One joint radius ε = block-max distance to the k-th
-                    // neighbour; strict per-block counts, ψ(c + 1).
-                    let eps = neighbours.last().unwrap().1;
-                    for (b, tree) in trees.iter().enumerate() {
-                        let q = points.block(i, b);
-                        let c = tree.count_within(q, eps, true) - 1; // minus self
-                        local += digamma((c + 1) as f64);
-                    }
-                }
-            }
-            acc + local
-        },
-        |a, b| a + b,
-    );
-
-    let mean_psi = psi_sum / m as f64;
-    let nm1 = (n - 1) as f64;
-    let nats = match cfg.variant {
-        KsgVariant::Paper => digamma(cfg.k as f64) + nm1 * digamma(m as f64) - mean_psi,
-        KsgVariant::Ksg1 => digamma(cfg.k as f64) + nm1 * digamma(m as f64) - mean_psi,
-        KsgVariant::Ksg2 => {
-            digamma(cfg.k as f64) - nm1 / cfg.k as f64 + nm1 * digamma(m as f64) - mean_psi
-        }
-    };
-    nats * NATS_TO_BITS
+    InfoWorkspace::new().multi_information(view, cfg)
 }
 
 /// Estimates pairwise mutual information (bits) between two blocks — a
@@ -241,7 +172,7 @@ mod tests {
             &KsgConfig {
                 k: 4,
                 variant,
-                threads: 0,
+                ..KsgConfig::default()
             },
         )
     }
@@ -417,36 +348,18 @@ mod tests {
 }
 
 /// Pairwise mutual-information matrix between all observer blocks of
-/// `view`: entry `(i, j)` is `I(Wᵢ; Wⱼ)` in bits, diagonal 0.
+/// `view`: entry `(i, j)` is `I(Wᵢ; Wⱼ)` in bits, diagonal 0, returned
+/// as a flat symmetric [`PairMatrix`] (upper triangle only — half the
+/// storage of the old `Vec<Vec<f64>>` and symmetric by construction).
 ///
 /// §7.3 points at interaction-structure analyses (Kahle et al.); the
 /// pairwise matrix is their first-order ingredient and a useful
 /// diagnostic of *where* in the collective the correlation sits.
-/// Parallelized over pairs.
-pub fn pairwise_mi_matrix(view: &SampleView<'_>, cfg: &KsgConfig) -> Vec<Vec<f64>> {
-    let n = view.blocks();
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
-    let threads = if cfg.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        cfg.threads
-    };
-    let inner = KsgConfig { threads: 1, ..*cfg };
-    let values = sops_par::parallel_map(pairs.len(), threads, |p| {
-        let (i, j) = pairs[p];
-        let data = view.merged_blocks(&[i, j]);
-        let sizes = [view.block_sizes[i], view.block_sizes[j]];
-        let pair_view = SampleView::new(&data, view.rows, &sizes);
-        multi_information(&pair_view, &inner)
-    });
-    let mut out = vec![vec![0.0; n]; n];
-    for (&(i, j), v) in pairs.iter().zip(&values) {
-        out[i][j] = *v;
-        out[j][i] = *v;
-    }
-    out
+/// Parallelized over pairs; per-block count indexes are built once and
+/// shared by every pair (see [`InfoWorkspace::pairwise_mi_matrix`], of
+/// which this is a throwaway-workspace shim).
+pub fn pairwise_mi_matrix(view: &SampleView<'_>, cfg: &KsgConfig) -> PairMatrix {
+    InfoWorkspace::new().pairwise_mi_matrix(view, cfg)
 }
 
 #[cfg(test)]
@@ -466,14 +379,22 @@ mod pairwise_tests {
         let view = SampleView::new(&data, 1200, &sizes);
         let m = pairwise_mi_matrix(&view, &KsgConfig::default());
         let truth = bivariate_gaussian_mi(0.8);
-        assert!((m[0][1] - truth).abs() < 0.12, "{} vs {truth}", m[0][1]);
-        assert!(m[0][2].abs() < 0.08, "independent pair: {}", m[0][2]);
-        assert!(m[1][2].abs() < 0.08);
-        // Symmetry + zero diagonal.
+        assert!(
+            (m.get(0, 1) - truth).abs() < 0.12,
+            "{} vs {truth}",
+            m.get(0, 1)
+        );
+        assert!(
+            m.get(0, 2).abs() < 0.08,
+            "independent pair: {}",
+            m.get(0, 2)
+        );
+        assert!(m.get(1, 2).abs() < 0.08);
+        // Symmetry by construction + zero diagonal.
         for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
+            assert_eq!(m.get(i, i), 0.0);
             for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+                assert_eq!(m.get(i, j), m.get(j, i));
             }
         }
     }
@@ -484,7 +405,38 @@ mod pairwise_tests {
         let sizes = [1usize];
         let view = SampleView::new(&data, 6, &sizes);
         let m = pairwise_mi_matrix(&view, &KsgConfig::default());
-        assert_eq!(m.len(), 1);
-        assert_eq!(m[0][0], 0.0);
+        assert_eq!(m.types(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matches_per_pair_multi_information() {
+        // The flat matrix must agree exactly with independent two-block
+        // estimates over merged pair views (the old implementation).
+        let mut cov = Matrix::identity(4);
+        cov[(0, 3)] = 0.6;
+        cov[(3, 0)] = 0.6;
+        let data = sample_gaussian(&cov, 350, 23);
+        let sizes = [1usize, 2, 1];
+        let view = SampleView::new(&data, 350, &sizes);
+        let cfg = KsgConfig {
+            threads: 1,
+            ..KsgConfig::default()
+        };
+        let m = pairwise_mi_matrix(&view, &cfg);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let merged = view.merged_blocks(&[i, j]);
+                let pair_sizes = [sizes[i], sizes[j]];
+                let pair_view = SampleView::new(&merged, 350, &pair_sizes);
+                let want = multi_information(&pair_view, &cfg);
+                assert_eq!(
+                    m.get(i, j).to_bits(),
+                    want.to_bits(),
+                    "pair ({i},{j}): {} vs {want}",
+                    m.get(i, j)
+                );
+            }
+        }
     }
 }

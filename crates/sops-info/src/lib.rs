@@ -14,6 +14,9 @@
 //!
 //! * [`ksg`] — the paper's exact formula (Eq. 18–20) plus the two
 //!   canonical KSG variants as ablations;
+//! * [`workspace`] — [`InfoWorkspace`], the persistent allocation-free
+//!   engine behind every KSG entry point (shared per-block indexes,
+//!   adaptive joint k-NN, bit-identical for any worker count);
 //! * [`kde`] — the kernel-density baseline the paper found "multiple
 //!   orders of magnitudes slower" with larger variance (§5.3);
 //! * [`binning`] — the James–Stein shrinkage binning baseline the paper
@@ -38,10 +41,12 @@ pub mod entropy;
 pub mod gaussian;
 pub mod kde;
 pub mod ksg;
+pub mod workspace;
 
 pub use conditional::{conditional_mutual_information, transfer_entropy, CmiConfig};
 pub use decomposition::{decompose, Decomposition, Grouping};
-pub use ksg::{multi_information, KsgConfig, KsgVariant};
+pub use ksg::{multi_information, pairwise_mi_matrix, KnnMode, KsgConfig, KsgVariant};
+pub use workspace::InfoWorkspace;
 
 /// A borrowed view of `rows` joint samples, each a concatenation of
 /// observer blocks with the given sizes — the common input format of every

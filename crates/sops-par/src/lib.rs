@@ -84,6 +84,59 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`] but each worker thread owns one element of
+/// `workers` — persistent per-worker state (scratch buffers, caches)
+/// reused across every index that worker claims.
+///
+/// The worker count is `workers.len()`. Which worker processes which
+/// index depends on scheduling, so `f` must produce a result that does
+/// not depend on the worker's accumulated state (workspaces that only
+/// cache buffer *capacity* satisfy this); the output is written into
+/// index-ordered slots exactly like [`parallel_map`].
+///
+/// # Panics
+///
+/// Panics if `workers` is empty.
+pub fn parallel_map_with<T, W, F>(len: usize, workers: &mut [W], f: F) -> Vec<T>
+where
+    T: Send,
+    W: Send,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    assert!(!workers.is_empty(), "parallel_map_with: no workers");
+    let threads = workers.len().min(len.max(1));
+    if threads == 1 || len <= 1 {
+        let w = &mut workers[0];
+        return (0..len).map(|i| f(w, i)).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    {
+        let next = AtomicUsize::new(0);
+        let out_slots = SliceCells::new(&mut out);
+        let next = &next;
+        let out_slots = &out_slots;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for w in workers.iter_mut().take(threads) {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let value = f(w, i);
+                    // SAFETY: every index is claimed exactly once by the
+                    // fetch_add above, so no two threads write slot `i`.
+                    unsafe { out_slots.write(i, Some(value)) };
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("parallel_map_with: slot not filled"))
+        .collect()
+}
+
 /// Like [`parallel_map`] but with the default thread count.
 pub fn parallel_map_auto<T, F>(len: usize, f: F) -> Vec<T>
 where
@@ -308,6 +361,29 @@ mod tests {
             i
         });
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_matches_sequential_and_uses_workers() {
+        let mut workers: Vec<u64> = vec![0; 4];
+        let out = parallel_map_with(100, &mut workers, |w, i| {
+            *w += 1;
+            i * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        // Every index was claimed by exactly one worker.
+        assert_eq!(workers.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn map_with_single_worker_is_sequential() {
+        let mut workers = vec![String::new()];
+        let out = parallel_map_with(5, &mut workers, |w, i| {
+            w.push('x');
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(workers[0].len(), 5);
     }
 
     #[test]

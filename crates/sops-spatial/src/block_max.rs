@@ -9,21 +9,61 @@
 //! ```
 //!
 //! i.e. the L∞ product metric over blocks whose internal distance is
-//! Euclidean. Sample counts here are modest (m ≤ ~1000) while the joint
-//! dimension is large (2n ≥ 40), a regime where space-partitioning trees
-//! degenerate to linear scans; a cache-friendly brute-force scan with an
-//! early-exit block loop is the right tool (this matches standard KSG
-//! implementations, e.g. Kraskov's MILCA and JIDT in high dimension).
+//! Euclidean. Two search strategies are provided, because the right tool
+//! depends on the *joint* dimension:
+//!
+//! * [`knn_block_max`] / [`knn_block_max_into`] — a cache-friendly
+//!   brute-force scan with an early-exit block loop. When the joint
+//!   dimension is large (per-particle observers: 2n ≥ 40) space
+//!   partitioning degenerates to a linear scan anyway (this matches
+//!   standard KSG implementations, e.g. Kraskov's MILCA and JIDT in high
+//!   dimension), and the pruned scan wins.
+//! * [`knn_block_max_tree_into`] — an iterative (explicit-stack) kd-tree
+//!   descent over the joint points. The splitting plane on any axis lower
+//!   bounds the block-max metric (`‖w′ − w‖ ≥ |w′[a] − w[a]|` for every
+//!   coordinate `a`), so standard pruning is sound. In low joint dimension
+//!   (pairwise scalar MI is dim-2) this turns the `O(m²)` scan into
+//!   `O(m log m)` — the adaptive choice is made by `sops-info`'s
+//!   `InfoWorkspace`.
+
+use crate::kdtree::{KdTree, Node};
+
+/// Prefix-offset storage for [`BlockPoints`]: owned by default, borrowed
+/// from a caller scratch buffer on the allocation-free path.
+#[derive(Debug, Clone)]
+enum Offsets<'a> {
+    Owned(Vec<usize>),
+    Borrowed(&'a [usize]),
+}
 
 /// A set of `m` joint samples, each a concatenation of `blocks` blocks of
 /// sizes `block_sizes` (in order), stored row-major.
 #[derive(Debug, Clone)]
 pub struct BlockPoints<'a> {
     data: &'a [f64],
-    /// Prefix offsets into one row; `block_offsets[b]..block_offsets[b+1]`
-    /// is block `b`. Last entry is the row stride.
-    block_offsets: Vec<usize>,
+    /// Prefix offsets into one row; `offsets[b]..offsets[b+1]` is block
+    /// `b`. Last entry is the row stride.
+    block_offsets: Offsets<'a>,
     rows: usize,
+    /// `true` when every block is one-dimensional (the per-scalar-observer
+    /// case) — enables the stride-direct Chebyshev fast path.
+    all_scalar: bool,
+}
+
+/// Fills `out` with the prefix offsets of `block_sizes` (cleared first)
+/// and returns the row stride.
+fn fill_offsets(block_sizes: &[usize], out: &mut Vec<usize>) -> usize {
+    assert!(!block_sizes.is_empty(), "BlockPoints: no blocks");
+    out.clear();
+    out.reserve(block_sizes.len() + 1);
+    let mut acc = 0;
+    out.push(0);
+    for &s in block_sizes {
+        assert!(s > 0, "BlockPoints: empty block");
+        acc += s;
+        out.push(acc);
+    }
+    acc
 }
 
 impl<'a> BlockPoints<'a> {
@@ -33,15 +73,8 @@ impl<'a> BlockPoints<'a> {
     ///
     /// Panics if `data.len() != rows * Σ block_sizes` or a block is empty.
     pub fn new(data: &'a [f64], rows: usize, block_sizes: &[usize]) -> Self {
-        assert!(!block_sizes.is_empty(), "BlockPoints: no blocks");
-        let mut block_offsets = Vec::with_capacity(block_sizes.len() + 1);
-        let mut acc = 0;
-        block_offsets.push(0);
-        for &s in block_sizes {
-            assert!(s > 0, "BlockPoints: empty block");
-            acc += s;
-            block_offsets.push(acc);
-        }
+        let mut block_offsets = Vec::new();
+        let acc = fill_offsets(block_sizes, &mut block_offsets);
         assert_eq!(
             data.len(),
             rows * acc,
@@ -49,8 +82,41 @@ impl<'a> BlockPoints<'a> {
         );
         BlockPoints {
             data,
-            block_offsets,
+            block_offsets: Offsets::Owned(block_offsets),
             rows,
+            all_scalar: block_sizes.iter().all(|&s| s == 1),
+        }
+    }
+
+    /// Like [`BlockPoints::new`] but writing the prefix offsets into a
+    /// caller-owned scratch buffer instead of allocating — the form used
+    /// by per-pair loops that construct thousands of views per call.
+    pub fn with_offset_buf(
+        offset_buf: &'a mut Vec<usize>,
+        data: &'a [f64],
+        rows: usize,
+        block_sizes: &[usize],
+    ) -> Self {
+        let acc = fill_offsets(block_sizes, offset_buf);
+        assert_eq!(
+            data.len(),
+            rows * acc,
+            "BlockPoints: data length does not match rows × stride"
+        );
+        BlockPoints {
+            data,
+            block_offsets: Offsets::Borrowed(offset_buf),
+            rows,
+            all_scalar: block_sizes.iter().all(|&s| s == 1),
+        }
+    }
+
+    /// The prefix offsets (last entry is the row stride).
+    #[inline]
+    fn offs(&self) -> &[usize] {
+        match &self.block_offsets {
+            Offsets::Owned(v) => v,
+            Offsets::Borrowed(s) => s,
         }
     }
 
@@ -61,12 +127,12 @@ impl<'a> BlockPoints<'a> {
 
     /// Number of blocks per sample.
     pub fn blocks(&self) -> usize {
-        self.block_offsets.len() - 1
+        self.offs().len() - 1
     }
 
     /// Row stride (joint dimension).
     pub fn stride(&self) -> usize {
-        *self.block_offsets.last().unwrap()
+        *self.offs().last().unwrap()
     }
 
     /// One whole joint sample.
@@ -79,9 +145,10 @@ impl<'a> BlockPoints<'a> {
     /// Block `b` of sample `r`.
     #[inline]
     pub fn block(&self, r: usize, b: usize) -> &[f64] {
-        let s = self.stride();
+        let offs = self.offs();
+        let s = *offs.last().unwrap();
         let row = &self.data[r * s..(r + 1) * s];
-        &row[self.block_offsets[b]..self.block_offsets[b + 1]]
+        &row[offs[b]..offs[b + 1]]
     }
 
     /// Max-over-blocks distance between samples `a` and `b` (not squared —
@@ -96,19 +163,36 @@ impl<'a> BlockPoints<'a> {
     #[inline]
     pub fn block_max_dist_bounded(&self, a: usize, b: usize, bound: f64) -> f64 {
         let bound_sq = bound * bound;
+        let s = self.stride();
+        let ra = &self.data[a * s..(a + 1) * s];
+        let rb = &self.data[b * s..(b + 1) * s];
         let mut max_sq: f64 = 0.0;
-        for blk in 0..self.blocks() {
-            let pa = self.block(a, blk);
-            let pb = self.block(b, blk);
-            let mut d2 = 0.0;
-            for (x, y) in pa.iter().zip(pb) {
+        if self.all_scalar {
+            // Every block is one coordinate: the metric is plain Chebyshev
+            // over the row, no offset indirection needed. Operation order
+            // matches the generic loop exactly (bit-identical results).
+            for (x, y) in ra.iter().zip(rb) {
                 let d = x - y;
-                d2 += d * d;
+                let d2 = d * d;
+                if d2 > max_sq {
+                    max_sq = d2;
+                    if max_sq > bound_sq {
+                        return f64::INFINITY;
+                    }
+                }
             }
-            if d2 > max_sq {
-                max_sq = d2;
-                if max_sq > bound_sq {
-                    return f64::INFINITY;
+        } else {
+            for w in self.offs().windows(2) {
+                let mut d2 = 0.0;
+                for (x, y) in ra[w[0]..w[1]].iter().zip(&rb[w[0]..w[1]]) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                if d2 > max_sq {
+                    max_sq = d2;
+                    if max_sq > bound_sq {
+                        return f64::INFINITY;
+                    }
                 }
             }
         }
@@ -117,46 +201,167 @@ impl<'a> BlockPoints<'a> {
 
     /// Per-block L2 distances between samples `a` and `b`.
     pub fn block_dists(&self, a: usize, b: usize) -> Vec<f64> {
-        (0..self.blocks())
-            .map(|blk| crate::dist_sq(self.block(a, blk), self.block(b, blk)).sqrt())
-            .collect()
+        let mut out = vec![0.0; self.blocks()];
+        self.block_dists_into(a, b, &mut out);
+        out
+    }
+
+    /// [`BlockPoints::block_dists`] into a caller-provided slice of length
+    /// `blocks()` — the allocation-free form the KSG hot loop uses.
+    pub fn block_dists_into(&self, a: usize, b: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.blocks(), "block_dists_into: output len");
+        for (blk, slot) in out.iter_mut().enumerate() {
+            *slot = crate::dist_sq(self.block(a, blk), self.block(b, blk)).sqrt();
+        }
     }
 }
 
 /// For sample `q`, the indices and distances of its `k` nearest other
 /// samples under the max-over-blocks metric, sorted ascending.
 ///
-/// Self is excluded. Ties are broken by index so results are deterministic.
+/// Self is excluded. The result is **canonical**: the `k`
+/// lexicographically smallest `(distance, index)` pairs, in that order —
+/// ties at the boundary always resolve toward the smaller sample index,
+/// independent of scan or traversal order. The scan and
+/// [tree](knn_block_max_tree_into) searches therefore agree on *every*
+/// input, duplicated/quantized samples included.
 pub fn knn_block_max(points: &BlockPoints<'_>, q: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut best = Vec::new();
+    knn_block_max_into(points, q, k, &mut best);
+    best
+}
+
+/// [`knn_block_max`] into a caller-provided buffer (cleared first) — the
+/// allocation-free form used per sample by the KSG hot loop.
+pub fn knn_block_max_into(
+    points: &BlockPoints<'_>,
+    q: usize,
+    k: usize,
+    best: &mut Vec<(usize, f64)>,
+) {
+    best.clear();
     let m = points.rows();
     assert!(q < m);
     let k = k.min(m.saturating_sub(1));
     if k == 0 {
-        return Vec::new();
+        return;
     }
     // Bounded insertion into a small sorted buffer: k is tiny (≤ 10 in all
     // experiments), so insertion beats a heap.
-    let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
     let mut worst = f64::INFINITY;
     for j in 0..m {
         if j == q {
             continue;
         }
         let d = points.block_max_dist_bounded(q, j, worst);
-        if d.is_finite() && (best.len() < k || d < worst) {
-            let pos = best
-                .binary_search_by(|(_, bd)| bd.partial_cmp(&d).unwrap())
-                .unwrap_or_else(|p| p);
-            best.insert(pos, (j, d));
-            if best.len() > k {
-                best.pop();
-            }
-            if best.len() == k {
-                worst = best[k - 1].1;
+        if d.is_finite() {
+            offer_candidate(best, k, j, d, &mut worst);
+        }
+    }
+}
+
+/// Canonical bounded insertion shared by the scan and tree searches: keeps
+/// the `k` lexicographically smallest `(distance, index)` pairs in sorted
+/// order, whatever order candidates arrive in.
+#[inline]
+fn offer_candidate(best: &mut Vec<(usize, f64)>, k: usize, j: usize, d: f64, worst: &mut f64) {
+    if best.len() == k {
+        let (tail_j, tail_d) = best[k - 1];
+        if d > tail_d || (d == tail_d && j > tail_j) {
+            return;
+        }
+    }
+    // Insert after equal-distance entries with smaller indices.
+    let pos = best.partition_point(|&(bj, bd)| bd < d || (bd == d && bj < j));
+    best.insert(pos, (j, d));
+    if best.len() > k {
+        best.pop();
+    }
+    if best.len() == k {
+        *worst = best[k - 1].1;
+    }
+}
+
+/// [`knn_block_max`] via an iterative kd-tree descent over the joint
+/// points — the low-joint-dimension fast path.
+///
+/// `tree` must index the same `m` joint rows as `points` (same order,
+/// `dim == points.stride()`). Pruning is sound because any splitting plane
+/// lower-bounds the block-max metric: a point on the far side of a plane
+/// at axis distance `|δ|` has some coordinate at least `|δ|` away, hence
+/// a block L2 distance — and so a block-max distance — of at least `|δ|`.
+/// The traversal is iterative with an explicit stack (`stack`, reused by
+/// callers) rather than recursive, so deep unbalanced trees cost no call
+/// frames and the scratch is visible to the zero-allocation contract.
+pub fn knn_block_max_tree_into(
+    points: &BlockPoints<'_>,
+    tree: &KdTree,
+    q: usize,
+    k: usize,
+    stack: &mut Vec<(u32, f64)>,
+    best: &mut Vec<(usize, f64)>,
+) {
+    best.clear();
+    let m = points.rows();
+    assert!(q < m);
+    assert_eq!(
+        tree.dim(),
+        points.stride(),
+        "knn_block_max_tree_into: tree dimension must equal the joint stride"
+    );
+    assert_eq!(
+        tree.len(),
+        m,
+        "knn_block_max_tree_into: tree must index the same samples"
+    );
+    let k = k.min(m.saturating_sub(1));
+    if k == 0 {
+        return;
+    }
+    let query = points.row(q);
+    let mut worst = f64::INFINITY;
+    stack.clear();
+    stack.push((0u32, 0.0f64));
+    while let Some((start_node, lower)) = stack.pop() {
+        // The bound was computed when the node was deferred; the candidate
+        // set has only tightened since. `>` not `>=`: a subtree at axis
+        // distance exactly `worst` can still hold an equal-distance
+        // candidate with a smaller index, which canonically wins the tie.
+        if best.len() == k && lower > worst {
+            continue;
+        }
+        let mut node = start_node;
+        loop {
+            match &tree.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    for &i in &tree.order[*start as usize..*end as usize] {
+                        let j = i as usize;
+                        if j == q {
+                            continue;
+                        }
+                        let d = points.block_max_dist_bounded(q, j, worst);
+                        if d.is_finite() {
+                            offer_candidate(best, k, j, d, &mut worst);
+                        }
+                    }
+                    break;
+                }
+                Node::Split { axis, value, right } => {
+                    let delta = query[*axis as usize] - value;
+                    let (near, far) = if delta < 0.0 {
+                        (node + 1, *right)
+                    } else {
+                        (*right, node + 1)
+                    };
+                    let axis_dist = delta.abs();
+                    if best.len() < k || axis_dist <= worst {
+                        stack.push((far, axis_dist));
+                    }
+                    node = near;
+                }
             }
         }
     }
-    best
 }
 
 /// Distance from sample `q` to its `k`-th nearest neighbour under the
@@ -238,8 +443,100 @@ mod tests {
         all
     }
 
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let data = [0.0, 0.0, 0.0, 3.0, 4.0, 1.0, 1.0, 1.0, 2.0];
+        let p = BlockPoints::new(&data, 3, &[2, 1]);
+        let mut dists = [0.0f64; 2];
+        p.block_dists_into(0, 1, &mut dists);
+        assert_eq!(dists.to_vec(), p.block_dists(0, 1));
+        let mut best = Vec::new();
+        knn_block_max_into(&p, 0, 2, &mut best);
+        assert_eq!(best, knn_block_max(&p, 0, 2));
+    }
+
+    #[test]
+    fn offset_buf_constructor_matches_owned() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut buf = Vec::new();
+        let p = BlockPoints::with_offset_buf(&mut buf, &data, 2, &[2, 1]);
+        let q = BlockPoints::new(&data, 2, &[2, 1]);
+        assert_eq!(p.stride(), q.stride());
+        assert_eq!(p.blocks(), q.blocks());
+        assert_eq!(p.block(1, 0), q.block(1, 0));
+        assert_eq!(
+            p.block_max_dist(0, 1).to_bits(),
+            q.block_max_dist(0, 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn tree_search_matches_scan_on_line() {
+        let data = [0.0, 1.0, 3.0, 7.0, 2.5];
+        let p = BlockPoints::new(&data, 5, &[1]);
+        let tree = KdTree::build(1, &data);
+        let mut stack = Vec::new();
+        let mut best = Vec::new();
+        for q in 0..5 {
+            for k in 1..5 {
+                knn_block_max_tree_into(&p, &tree, q, k, &mut stack, &mut best);
+                assert_eq!(best, knn_block_max(&p, q, k), "q={q} k={k}");
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tree_search_matches_scan(
+            rows in 2..60usize,
+            k in 1..8usize,
+            seed in 0..u64::MAX
+        ) {
+            let mut rng = sops_math::SplitMix64::new(seed);
+            // 2 blocks of sizes 1, 2 -> stride 3 (mixed scalar/vector).
+            let data: Vec<f64> = (0..rows * 3).map(|_| rng.next_range(-10.0, 10.0)).collect();
+            let p = BlockPoints::new(&data, rows, &[1, 2]);
+            let tree = KdTree::build(3, &data);
+            let mut stack = Vec::new();
+            let mut best = Vec::new();
+            for q in 0..rows.min(6) {
+                knn_block_max_tree_into(&p, &tree, q, k, &mut stack, &mut best);
+                let want = knn_block_max(&p, q, k);
+                prop_assert_eq!(best.len(), want.len());
+                for (g, w) in best.iter().zip(&want) {
+                    prop_assert_eq!(g.0, w.0, "{:?} vs {:?}", best, want);
+                    prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
+                }
+            }
+        }
+
+        /// Quantized coordinates force massive distance ties: the scan,
+        /// the tree descent, and the canonical sort-based reference must
+        /// still agree exactly — indices included.
+        #[test]
+        fn tree_and_scan_agree_canonically_under_ties(
+            rows in 4..50usize,
+            k in 1..8usize,
+            seed in 0..u64::MAX
+        ) {
+            let mut rng = sops_math::SplitMix64::new(seed);
+            let data: Vec<f64> = (0..rows * 2)
+                .map(|_| (rng.next_range(-3.0, 3.0)).round())
+                .collect();
+            let p = BlockPoints::new(&data, rows, &[1, 1]);
+            let tree = KdTree::build(2, &data);
+            let mut stack = Vec::new();
+            let mut best = Vec::new();
+            for q in 0..rows.min(8) {
+                let scan = knn_block_max(&p, q, k);
+                let want = knn_reference(&p, q, k);
+                prop_assert_eq!(&scan, &want, "scan vs canonical reference, q={}", q);
+                knn_block_max_tree_into(&p, &tree, q, k, &mut stack, &mut best);
+                prop_assert_eq!(&best, &want, "tree vs canonical reference, q={}", q);
+            }
+        }
 
         #[test]
         fn knn_matches_reference(

@@ -20,7 +20,7 @@ use crate::dist_sq;
 const LEAF_SIZE: usize = 12;
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Range into `KdTree::order`.
         start: u32,
@@ -36,13 +36,22 @@ enum Node {
 }
 
 /// Immutable kd-tree over `n` points of dimension `dim`.
+///
+/// The tree cannot be mutated point-by-point, but it can be
+/// [rebuilt in place](KdTree::rebuild) over a fresh point set without
+/// giving up its buffers — the contract persistent engines
+/// (`sops_sim::ForceWorkspace`, `sops_info`'s `InfoWorkspace`) rely on
+/// for zero steady-state allocations.
 #[derive(Debug, Clone)]
 pub struct KdTree {
     dim: usize,
-    points: Vec<f64>,
+    pub(crate) points: Vec<f64>,
     /// Permutation of point indices, partitioned recursively.
-    order: Vec<u32>,
-    nodes: Vec<Node>,
+    pub(crate) order: Vec<u32>,
+    pub(crate) nodes: Vec<Node>,
+    /// Per-axis bound scratch for `widest_axis` (2 × dim), reused across
+    /// `build_node` calls so rebuilding never allocates.
+    bounds_scratch: Vec<f64>,
 }
 
 impl KdTree {
@@ -53,6 +62,25 @@ impl KdTree {
     /// Panics if `dim == 0`, `dim > 255`, or `points.len()` is not a
     /// multiple of `dim`.
     pub fn build(dim: usize, points: &[f64]) -> Self {
+        let mut tree = KdTree {
+            dim: dim.max(1),
+            points: Vec::new(),
+            order: Vec::new(),
+            nodes: Vec::with_capacity(2 * (points.len() / dim.max(1) / LEAF_SIZE + 1)),
+            bounds_scratch: Vec::new(),
+        };
+        tree.rebuild(dim, points);
+        tree
+    }
+
+    /// Re-indexes the tree over a new point set (possibly of a different
+    /// dimension), reusing every internal buffer. Allocation-free once the
+    /// buffers have grown to the workload size.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`KdTree::build`].
+    pub fn rebuild(&mut self, dim: usize, points: &[f64]) {
         assert!(dim > 0 && dim <= 255, "KdTree: unsupported dimension {dim}");
         assert_eq!(
             points.len() % dim,
@@ -60,16 +88,26 @@ impl KdTree {
             "KdTree: coordinate count not a multiple of dim"
         );
         let n = points.len() / dim;
-        let mut tree = KdTree {
-            dim,
-            points: points.to_vec(),
-            order: (0..n as u32).collect(),
-            nodes: Vec::with_capacity(2 * (n / LEAF_SIZE + 1)),
-        };
+        self.dim = dim;
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.nodes.clear();
         if n > 0 {
-            tree.build_node(0, n);
+            self.build_node(0, n);
         }
-        tree
+    }
+
+    /// Capacities of the internal buffers — constant for a warmed-up tree
+    /// driving a bounded workload (the zero-allocation contract).
+    pub fn capacity_signature(&self) -> [usize; 4] {
+        [
+            self.points.capacity(),
+            self.order.capacity(),
+            self.nodes.capacity(),
+            self.bounds_scratch.capacity(),
+        ]
     }
 
     /// Number of points.
@@ -127,19 +165,29 @@ impl KdTree {
         id
     }
 
-    fn widest_axis(&self, start: usize, end: usize) -> usize {
-        let mut lo = vec![f64::INFINITY; self.dim];
-        let mut hi = vec![f64::NEG_INFINITY; self.dim];
-        for &i in &self.order[start..end] {
-            let p = self.point(i as usize);
-            for d in 0..self.dim {
+    fn widest_axis(&mut self, start: usize, end: usize) -> usize {
+        let dim = self.dim;
+        self.bounds_scratch.clear();
+        self.bounds_scratch.resize(2 * dim, 0.0);
+        let KdTree {
+            points,
+            order,
+            bounds_scratch,
+            ..
+        } = self;
+        let (lo, hi) = bounds_scratch.split_at_mut(dim);
+        lo.fill(f64::INFINITY);
+        hi.fill(f64::NEG_INFINITY);
+        for &i in &order[start..end] {
+            let p = &points[i as usize * dim..(i as usize + 1) * dim];
+            for d in 0..dim {
                 lo[d] = lo[d].min(p[d]);
                 hi[d] = hi[d].max(p[d]);
             }
         }
         let mut best = 0;
         let mut spread = -1.0;
-        for d in 0..self.dim {
+        for d in 0..dim {
             let s = hi[d] - lo[d];
             if s > spread {
                 spread = s;
@@ -208,31 +256,32 @@ impl KdTree {
     /// The `k` nearest points to `query`, sorted by ascending squared
     /// distance (ties broken by index).
     pub fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
-        assert_eq!(query.len(), self.dim);
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
-        // Bounded max-heap on squared distance.
-        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
-        self.knn_rec(0, query, k, &mut heap);
-        let mut out: Vec<(usize, f64)> = heap.into_iter().map(|(d, i)| (i, d)).collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out);
         out
     }
 
-    fn knn_rec(&self, node: u32, query: &[f64], k: usize, heap: &mut Vec<(f64, usize)>) {
+    /// [`KdTree::knn`] into a caller-provided buffer (cleared first) —
+    /// allocation-free once the buffer has capacity `k`.
+    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<(usize, f64)>) {
+        assert_eq!(query.len(), self.dim);
+        out.clear();
+        if k == 0 || self.is_empty() {
+            return;
+        }
+        // `out` doubles as the bounded max-heap (worst candidate at the
+        // root) during traversal, stored as `(index, dist_sq)`.
+        self.knn_rec(0, query, k, out);
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    }
+
+    fn knn_rec(&self, node: u32, query: &[f64], k: usize, heap: &mut Vec<(usize, f64)>) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
                 for &i in &self.order[*start as usize..*end as usize] {
                     let i = i as usize;
                     let d = dist_sq(self.point(i), query);
-                    if heap.len() < k {
-                        heap.push((d, i));
-                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-                    } else if d < heap[0].0 {
-                        heap[0] = (d, i);
-                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-                    }
+                    heap_offer(heap, k, (i, d));
                 }
             }
             Node::Split { axis, value, right } => {
@@ -243,7 +292,12 @@ impl KdTree {
                     (*right, node + 1)
                 };
                 self.knn_rec(near, query, k, heap);
-                if heap.len() < k || delta * delta < heap[0].0 {
+                // `<=`, not `<`: a far subtree at axis distance exactly
+                // equal to the current worst can still hold an
+                // equal-distance point with a smaller index, which
+                // canonically wins the tie (same rule as the block-max
+                // tree search).
+                if heap.len() < k || delta * delta <= heap[0].1 {
                     self.knn_rec(far, query, k, heap);
                 }
             }
@@ -328,6 +382,55 @@ impl KdTree {
                     self.range_rec(*right, query, radius, r2, out);
                 }
             }
+        }
+    }
+}
+
+/// Lexicographically "worse" candidate ordering for the bounded max-heap:
+/// larger squared distance first, distance ties broken by larger index.
+#[inline]
+fn heap_worse(a: (usize, f64), b: (usize, f64)) -> bool {
+    a.1 > b.1 || (a.1 == b.1 && a.0 > b.0)
+}
+
+/// Offers a candidate to a bounded max-heap (worst entry at the root) that
+/// keeps the `k` lexicographically smallest `(dist, index)` entries seen.
+///
+/// A single `O(log k)` sift replaces the full `sort_by` of the candidate
+/// buffer the old leaf insertion performed on every accepted point — the
+/// `kdtree/knn*` bench rows quantify the win.
+#[inline]
+fn heap_offer(heap: &mut Vec<(usize, f64)>, k: usize, cand: (usize, f64)) {
+    if heap.len() < k {
+        heap.push(cand);
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if heap_worse(heap[i], heap[parent]) {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    } else if heap_worse(heap[0], cand) {
+        heap[0] = cand;
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut m = i;
+            if l < heap.len() && heap_worse(heap[l], heap[m]) {
+                m = l;
+            }
+            if r < heap.len() && heap_worse(heap[r], heap[m]) {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            heap.swap(i, m);
+            i = m;
         }
     }
 }
@@ -456,6 +559,77 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g.1 - w.1).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_and_never_allocates_when_warm() {
+        let mut tree = KdTree::build(2, &grid_points(12));
+        // Warm across the workload shapes, largest first.
+        for side in [12usize, 8, 10] {
+            tree.rebuild(2, &grid_points(side));
+        }
+        let sig = tree.capacity_signature();
+        for round in 0..20 {
+            let side = [12usize, 8, 10][round % 3];
+            tree.rebuild(2, &grid_points(side));
+            let fresh = KdTree::build(2, &grid_points(side));
+            for k in [1usize, 5, 17] {
+                assert_eq!(tree.knn(&[3.3, 4.1], k), fresh.knn(&[3.3, 4.1], k));
+            }
+            assert_eq!(
+                tree.count_within(&[5.0, 5.0], 2.5, true),
+                fresh.count_within(&[5.0, 5.0], 2.5, true)
+            );
+            assert_eq!(tree.capacity_signature(), sig, "rebuild must not allocate");
+        }
+    }
+
+    #[test]
+    fn rebuild_across_dimensions() {
+        let mut tree = KdTree::build(2, &grid_points(4));
+        tree.rebuild(3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(tree.dim(), 3);
+        assert_eq!(tree.len(), 2);
+        let (i, _) = tree.nearest(&[4.0, 5.0, 6.1]).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn knn_ties_resolve_to_smallest_indices() {
+        // Duplicated points force exact distance ties, including across
+        // splitting planes: the canonical result keeps the smallest
+        // indices, whatever the tree shape.
+        let mut pts = Vec::new();
+        for _ in 0..8 {
+            pts.extend_from_slice(&[1.0, 1.0]);
+        }
+        for _ in 0..8 {
+            pts.extend_from_slice(&[2.0, 2.0]);
+        }
+        let t = KdTree::build(2, &pts);
+        let got = t.knn(&[1.0, 1.0], 3);
+        assert_eq!(
+            got.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Query equidistant from both clusters: ties span the split.
+        let mid = t.knn(&[1.5, 1.5], 10);
+        let idx: Vec<usize> = mid.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, (0..10).collect::<Vec<_>>(), "canonical tie set");
+    }
+
+    #[test]
+    fn knn_into_reuses_buffer() {
+        let pts = grid_points(8);
+        let t = KdTree::build(2, &pts);
+        let mut buf = Vec::new();
+        t.knn_into(&[2.7, 3.1], 7, &mut buf);
+        assert_eq!(buf, t.knn(&[2.7, 3.1], 7));
+        let cap = buf.capacity();
+        for _ in 0..10 {
+            t.knn_into(&[1.2, 5.9], 7, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap);
     }
 
     prop_compose! {

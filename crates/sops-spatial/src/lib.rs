@@ -9,8 +9,11 @@
 //!   2-D point sets — served by [`KdTree`];
 //! * the **KSG estimator** (paper Eq. 18–20) needs per-variable strict
 //!   range counts and joint-space k-NN under a max-over-blocks metric —
-//!   served by [`KdTree::count_within`] per block and
-//!   [`block_max::knn_block_max`] for the joint search.
+//!   served by [`KdTree::count_within`] per block and, for the joint
+//!   search, [`block_max::knn_block_max`] (pruned scan, high joint
+//!   dimension) or [`block_max::knn_block_max_tree_into`] (iterative
+//!   kd-tree descent, low joint dimension). [`KdTree::rebuild`] re-indexes
+//!   in place so persistent engines never reallocate.
 //!
 //! [`brute`] holds the obviously-correct `O(n²)` references that the
 //! property tests compare against and that small inputs fall back to.

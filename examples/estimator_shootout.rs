@@ -42,7 +42,7 @@ fn main() {
                 &KsgConfig {
                     k: 4,
                     variant,
-                    threads: 0,
+                    ..KsgConfig::default()
                 },
             );
             println!(

@@ -64,7 +64,7 @@ pub mod prelude {
         evaluate_ensemble, run_pipeline, MiSeries, ObserverMode, Pipeline, PipelineResult,
         RunOptions,
     };
-    pub use sops_info::{KsgConfig, KsgVariant, SampleView};
+    pub use sops_info::{InfoWorkspace, KnnMode, KsgConfig, KsgVariant, SampleView};
     pub use sops_math::{Matrix, PairMatrix, SplitMix64, Vec2};
     pub use sops_shape::{icp_align, IcpConfig, RigidTransform};
     pub use sops_sim::{
