@@ -1,18 +1,36 @@
 //! Estimator benches: the §5.3 comparison (KSG vs KDE vs shrinkage
-//! binning) as runtime measurements, plus KSG ablations.
+//! binning) as runtime measurements, KSG ablations, and the
+//! `estimator_matrix` group tracking the workspace-backed `Estimator`
+//! engines (KDE / binning / CMI) against their one-shot forms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sops_info::binning::{multi_information_binned, BinningConfig};
 use sops_info::entropy::kl_entropy;
 use sops_info::gaussian::{equicorrelated_cov, sample_gaussian};
-use sops_info::kde::{multi_information_kde, KdeConfig};
-use sops_info::{multi_information, KsgConfig, KsgVariant, SampleView};
+use sops_info::{
+    multi_information, BinnedWorkspace, BinningConfig, CmiConfig, CmiWorkspace, KdeConfig,
+    KdeWorkspace, KnnMode, KsgConfig, KsgVariant, SampleView,
+};
 use std::hint::black_box;
 
 /// Gaussian fixture: `blocks` scalar observers, correlation 0.4.
 fn fixture(m: usize, blocks: usize) -> (Vec<f64>, Vec<usize>) {
     let cov = equicorrelated_cov(blocks, 0.4);
     (sample_gaussian(&cov, m, 99), vec![1usize; blocks])
+}
+
+/// Scalar common-cause triple for the CMI benches.
+fn cmi_fixture(m: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = sops_math::SplitMix64::new(7);
+    let mut x = Vec::with_capacity(m);
+    let mut y = Vec::with_capacity(m);
+    let mut z = Vec::with_capacity(m);
+    for _ in 0..m {
+        let zi = rng.next_standard_normal();
+        x.push(0.8 * zi + 0.4 * rng.next_standard_normal());
+        y.push(0.8 * zi + 0.4 * rng.next_standard_normal());
+        z.push(zi);
+    }
+    (x, y, z)
 }
 
 fn bench_ksg_variants(c: &mut Criterion) {
@@ -132,6 +150,9 @@ fn bench_ksg_k_sensitivity(c: &mut Criterion) {
 fn bench_estimator_comparison(c: &mut Criterion) {
     // §5.3: "[the KDE approach] was multiple orders of magnitudes slower";
     // binning is fast but wrong in high-d (accuracy covered by tests).
+    // One-shot (throwaway-workspace) calls, same semantics as the
+    // deprecated free functions — case names kept stable across PRs so
+    // the JSON trajectories line up.
     let mut group = c.benchmark_group("estimator_comparison");
     group.sample_size(10);
     let (data, sizes) = fixture(400, 8);
@@ -140,10 +161,87 @@ fn bench_estimator_comparison(c: &mut Criterion) {
         b.iter(|| multi_information(black_box(&view), &KsgConfig::default()))
     });
     group.bench_function("kde", |b| {
-        b.iter(|| multi_information_kde(black_box(&view), &KdeConfig::default()))
+        b.iter(|| KdeWorkspace::new().multi_information(black_box(&view), &KdeConfig::default()))
     });
     group.bench_function("binning_js", |b| {
-        b.iter(|| multi_information_binned(black_box(&view), &BinningConfig::default()))
+        b.iter(|| {
+            BinnedWorkspace::new().multi_information(black_box(&view), &BinningConfig::default())
+        })
+    });
+    group.finish();
+}
+
+fn bench_estimator_matrix(c: &mut Criterion) {
+    // The workspace-backed `Estimator` engines vs their one-shot forms —
+    // the before/after ledger of the measurement-stack unification. The
+    // `one_shot` cases spin a fresh workspace per call (the deprecated
+    // free functions' behaviour); `persistent` reuses a warm one. For CMI
+    // the historical algorithm is additionally pinned by `scan`
+    // (brute-force joint k-NN) vs the adaptive `tree` path.
+    let mut group = c.benchmark_group("estimator_matrix");
+    group.sample_size(10);
+
+    let (data, sizes) = fixture(400, 8);
+    let view = SampleView::new(&data, 400, &sizes);
+    let kde_cfg = KdeConfig {
+        threads: 1,
+        ..KdeConfig::default()
+    };
+    let mut kde_ws = KdeWorkspace::new();
+    group.bench_function("kde_m400_n8/one_shot", |b| {
+        b.iter(|| KdeWorkspace::new().multi_information(black_box(&view), &kde_cfg))
+    });
+    group.bench_function("kde_m400_n8/persistent", |b| {
+        b.iter(|| kde_ws.multi_information(black_box(&view), &kde_cfg))
+    });
+
+    let bin_cfg = BinningConfig::default();
+    let mut bin_ws = BinnedWorkspace::new();
+    group.bench_function("binned_m400_n8/one_shot", |b| {
+        b.iter(|| BinnedWorkspace::new().multi_information(black_box(&view), &bin_cfg))
+    });
+    group.bench_function("binned_m400_n8/persistent", |b| {
+        b.iter(|| bin_ws.multi_information(black_box(&view), &bin_cfg))
+    });
+    let (data2k, sizes2k) = fixture(2000, 8);
+    let view2k = SampleView::new(&data2k, 2000, &sizes2k);
+    group.bench_function("binned_m2000_n8/persistent", |b| {
+        b.iter(|| bin_ws.multi_information(black_box(&view2k), &bin_cfg))
+    });
+
+    let (x, y, z) = cmi_fixture(1500);
+    let scan_cfg = CmiConfig {
+        threads: 1,
+        knn: KnnMode::BruteForce,
+        ..CmiConfig::default()
+    };
+    let tree_cfg = CmiConfig {
+        threads: 1,
+        knn: KnnMode::Auto,
+        ..CmiConfig::default()
+    };
+    let mut cmi_ws = CmiWorkspace::new();
+    group.bench_function("cmi_m1500/scan_one_shot", |b| {
+        b.iter(|| {
+            CmiWorkspace::new().conditional_mutual_information(
+                black_box(&x),
+                &y,
+                &z,
+                1500,
+                (1, 1, 1),
+                &scan_cfg,
+            )
+        })
+    });
+    group.bench_function("cmi_m1500/tree_persistent", |b| {
+        b.iter(|| {
+            cmi_ws.conditional_mutual_information(black_box(&x), &y, &z, 1500, (1, 1, 1), &tree_cfg)
+        })
+    });
+    group.bench_function("cmi_m1500/scan_persistent", |b| {
+        b.iter(|| {
+            cmi_ws.conditional_mutual_information(black_box(&x), &y, &z, 1500, (1, 1, 1), &scan_cfg)
+        })
     });
     group.finish();
 }
@@ -171,6 +269,7 @@ criterion_group!(
     bench_workspace_reuse,
     bench_ksg_k_sensitivity,
     bench_estimator_comparison,
+    bench_estimator_matrix,
     bench_kl_entropy
 );
 criterion_main!(benches);

@@ -17,7 +17,7 @@
 //! as spurious transfer), positions are expressed relative to each run's
 //! instantaneous centroid.
 
-use sops_info::conditional::{transfer_entropy, CmiConfig};
+use sops_info::conditional::{CmiConfig, CmiWorkspace};
 use sops_math::Vec2;
 use sops_sim::ensemble::Ensemble;
 
@@ -58,11 +58,30 @@ fn centred_positions(ensemble: &Ensemble, i: usize, t: usize) -> Vec<f64> {
 
 /// Transfer entropy `T_{b→a}` (bits) at time `t` across the ensemble.
 ///
+/// Convenience shim over [`particle_transfer_entropy_with`]; repeated
+/// callers (lag sweeps, [`transfer_matrix`]) should hold a
+/// [`CmiWorkspace`].
+///
 /// # Panics
 ///
 /// Panics if `t + cfg.lag` exceeds the recorded horizon or the particle
 /// indices are out of range.
 pub fn particle_transfer_entropy(
+    ensemble: &Ensemble,
+    a: usize,
+    b: usize,
+    t: usize,
+    cfg: &TransferConfig,
+) -> f64 {
+    particle_transfer_entropy_with(&mut CmiWorkspace::new(), ensemble, a, b, t, cfg)
+}
+
+/// [`particle_transfer_entropy`] with a caller-provided estimator
+/// workspace — the form sweeps use so the Frenzel–Pompe scratch (joint
+/// gather, kd-trees, span buffers) is reused across estimates. Results
+/// are identical.
+pub fn particle_transfer_entropy_with(
+    ws: &mut CmiWorkspace,
     ensemble: &Ensemble,
     a: usize,
     b: usize,
@@ -77,7 +96,7 @@ pub fn particle_transfer_entropy(
     let x_next = centred_positions(ensemble, a, t + cfg.lag);
     let x_past = centred_positions(ensemble, a, t);
     let y_past = centred_positions(ensemble, b, t);
-    transfer_entropy(
+    ws.transfer_entropy(
         &x_next,
         &y_past,
         &x_past,
@@ -86,20 +105,44 @@ pub fn particle_transfer_entropy(
         &CmiConfig {
             k: cfg.k,
             threads: cfg.threads,
+            ..CmiConfig::default()
         },
     )
 }
 
 /// The full pairwise transfer matrix at time `t`: entry `(a, b)` is
 /// `T_{b→a}` (information flowing *into* `a` *from* `b`); the diagonal is
-/// zero by convention.
+/// zero by convention. All `n(n−1)` estimates share one [`CmiWorkspace`],
+/// and each particle's centred past/successor positions are gathered once
+/// for the whole sweep rather than once per pair.
 pub fn transfer_matrix(ensemble: &Ensemble, t: usize, cfg: &TransferConfig) -> Vec<Vec<f64>> {
     let n = ensemble.particles();
+    assert!(
+        t + cfg.lag < ensemble.frames(),
+        "transfer_matrix: t + lag beyond horizon"
+    );
+    let past: Vec<Vec<f64>> = (0..n).map(|i| centred_positions(ensemble, i, t)).collect();
+    let next: Vec<Vec<f64>> = (0..n)
+        .map(|i| centred_positions(ensemble, i, t + cfg.lag))
+        .collect();
+    let cmi_cfg = CmiConfig {
+        k: cfg.k,
+        threads: cfg.threads,
+        ..CmiConfig::default()
+    };
+    let mut ws = CmiWorkspace::new();
     let mut out = vec![vec![0.0; n]; n];
     for (a, row) in out.iter_mut().enumerate() {
         for (b, cell) in row.iter_mut().enumerate() {
             if a != b {
-                *cell = particle_transfer_entropy(ensemble, a, b, t, cfg);
+                *cell = ws.transfer_entropy(
+                    &next[a],
+                    &past[b],
+                    &past[a],
+                    ensemble.samples(),
+                    (2, 2, 2),
+                    &cmi_cfg,
+                );
             }
         }
     }

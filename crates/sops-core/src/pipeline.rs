@@ -1,10 +1,19 @@
 //! The measurement pipeline: ensemble → per-time-step reduction →
 //! multi-information series (and optional Eq. 5 decomposition series).
+//!
+//! Estimation is polymorphic: the pipeline carries a
+//! [`MeasureConfig`] selection and drives it through the
+//! [`sops_info::Estimator`] trait. Each evaluation worker owns one
+//! [`MeasureWorkspace`] (every estimator family's persistent engine) and
+//! one [`ReduceWorkspace`] (ICP + Hungarian scratch), so both the
+//! shape-reduction and the estimation stages reuse their buffers across
+//! all time steps the worker claims.
 
 use crate::observers::{build_observers, ObserverMode};
 use sops_info::decomposition::{Decomposition, Grouping};
-use sops_info::{InfoWorkspace, KsgConfig};
-use sops_shape::ensemble::{reduce_configurations, ReduceConfig};
+use sops_info::measure::{MeasureConfig, MeasureWorkspace};
+use sops_info::KsgConfig;
+use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig, ReduceWorkspace};
 use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 
 /// Full experiment specification.
@@ -14,8 +23,9 @@ pub struct Pipeline {
     pub ensemble: EnsembleSpec,
     /// Shape-reduction parameters.
     pub reduce: ReduceConfig,
-    /// Multi-information estimator.
-    pub estimator: KsgConfig,
+    /// Multi-information estimator selection (KSG by default; any
+    /// [`MeasureConfig`] runs through the same trait-driven workers).
+    pub measure: MeasureConfig,
     /// Observer construction.
     pub observers: ObserverMode,
     /// Evaluate the estimator at `t = 0, eval_every, 2·eval_every, …` and
@@ -34,7 +44,7 @@ impl Pipeline {
         Pipeline {
             ensemble,
             reduce: ReduceConfig::default(),
-            estimator: KsgConfig::default(),
+            measure: MeasureConfig::default(),
             observers: ObserverMode::PerParticle,
             eval_every: 10,
             threads: 0,
@@ -106,6 +116,19 @@ pub fn run_pipeline(p: &Pipeline) -> PipelineResult {
     evaluate_ensemble(&ensemble, p)
 }
 
+/// One evaluation worker's persistent state: every estimator family's
+/// engine plus the shape-reduction scratch, reused across the time steps
+/// the worker claims.
+#[derive(Debug, Clone, Default)]
+struct EvalWorker {
+    measure: MeasureWorkspace,
+    reduce: ReduceWorkspace,
+}
+
+fn eval_workers(threads: usize) -> Vec<EvalWorker> {
+    (0..threads.max(1)).map(|_| EvalWorker::default()).collect()
+}
+
 /// Evaluates the multi-information series on an already-simulated
 /// ensemble (lets callers reuse one ensemble across analyses, e.g. Figs. 4
 /// and 6 share theirs).
@@ -120,25 +143,24 @@ pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
     };
 
     // Outer parallelism over evaluation steps; inner stages sequential.
-    // Each eval worker owns one persistent `InfoWorkspace`, so per-block
-    // indexes and estimator scratch are reused across the time steps that
-    // worker claims (results are independent of the claim schedule — the
-    // workspace caches only buffer capacity).
+    // Each eval worker owns one persistent `MeasureWorkspace` +
+    // `ReduceWorkspace`, so per-view estimator indexes and ICP/Hungarian
+    // scratch are reused across the time steps that worker claims
+    // (results are independent of the claim schedule — the workspaces
+    // cache only buffer capacity). The estimator itself is dispatched
+    // through the `sops_info::Estimator` trait, so any `MeasureConfig`
+    // selection rides the same loop.
     let inner_reduce = ReduceConfig {
         threads: 1,
         ..p.reduce
     };
-    let inner_est = KsgConfig {
-        threads: 1,
-        ..p.estimator
-    };
-    let mut workspaces: Vec<InfoWorkspace> =
-        (0..threads.max(1)).map(|_| InfoWorkspace::new()).collect();
+    let inner_measure = p.measure.with_threads(1);
+    let mut workers = eval_workers(threads);
     let per_step: Vec<(f64, f64)> =
-        sops_par::parallel_map_with(times.len(), &mut workspaces, |ws, ti| {
+        sops_par::parallel_map_with(times.len(), &mut workers, |w, ti| {
             let t = times[ti];
             let slice = ensemble.at_time(t);
-            let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+            let reduced = reduce_configurations_with(&mut w.reduce, &slice, &types, &inner_reduce);
             let mean_cost = if reduced.icp_costs.is_empty() {
                 0.0
             } else {
@@ -146,7 +168,9 @@ pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
             };
             let observers =
                 build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
-            let mi = ws.multi_information(&observers.view(), &inner_est);
+            let estimator = w.measure.estimator_mut(&inner_measure);
+            estimator.prepare(&observers.view());
+            let mi = estimator.estimate();
             (mi, mean_cost)
         });
 
@@ -180,6 +204,10 @@ impl DecompositionSeries {
 
 /// Runs the pipeline's reduction and evaluates the type-grouped
 /// decomposition at each evaluation step.
+///
+/// The decomposition is a KSG-specific analysis; it runs with
+/// [`MeasureConfig::ksg_config`] — the pipeline's KSG parameters when the
+/// measure selection is KSG, the KSG defaults otherwise.
 pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionSeries {
     let types = p.ensemble.model.types().to_vec();
     let type_count = p.ensemble.model.type_count();
@@ -195,19 +223,19 @@ pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionS
     };
     let inner_est = KsgConfig {
         threads: 1,
-        ..p.estimator
+        ..p.measure.ksg_config()
     };
-    let mut workspaces: Vec<InfoWorkspace> =
-        (0..threads.max(1)).map(|_| InfoWorkspace::new()).collect();
+    let mut workers = eval_workers(threads);
     let terms: Vec<Decomposition> =
-        sops_par::parallel_map_with(times.len(), &mut workspaces, |ws, ti| {
+        sops_par::parallel_map_with(times.len(), &mut workers, |w, ti| {
             let t = times[ti];
             let slice = ensemble.at_time(t);
-            let reduced = reduce_configurations(&slice, &types, &inner_reduce);
+            let reduced = reduce_configurations_with(&mut w.reduce, &slice, &types, &inner_reduce);
             let observers =
                 build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
             let grouping = Grouping::from_labels(&observers.block_types);
-            ws.decompose(&observers.view(), &grouping, &inner_est)
+            w.measure
+                .decompose(&observers.view(), &grouping, &inner_est)
         });
     DecompositionSeries { times, terms }
 }
@@ -238,7 +266,10 @@ mod tests {
     fn small_pipeline() -> Pipeline {
         let mut p = Pipeline::new(small_spec(60, 30));
         p.eval_every = 15;
-        p.estimator.k = 3;
+        p.measure = MeasureConfig::Ksg(KsgConfig {
+            k: 3,
+            ..KsgConfig::default()
+        });
         p
     }
 
@@ -313,5 +344,78 @@ mod tests {
         p.observers = ObserverMode::TypeMeans { k_per_type: 2 };
         let result = run_pipeline(&p);
         assert!(result.mi.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn every_measure_selection_drives_the_pipeline() {
+        // The polymorphic dispatch point: the same evaluation loop must
+        // run any estimator family. The calibrated estimators (KSG, KDE)
+        // must see the organizing trend; the binned/discrete baselines
+        // only need to run — at 16 joint dimensions over 80 samples they
+        // saturate, which is exactly the §5.3 artifact this repo
+        // reproduces ("almost no change in information could be seen").
+        let ensemble = run_ensemble(&small_spec(80, 30), 0);
+        let selections = [
+            (MeasureConfig::default(), true),
+            (MeasureConfig::Kde(sops_info::KdeConfig::default()), true),
+            (
+                MeasureConfig::Binned(sops_info::BinningConfig::default()),
+                false,
+            ),
+            (MeasureConfig::DiscretePlugin { bins: 6 }, false),
+            // 80 runs over 16 joint dims: covariance is well-conditioned,
+            // so the parametric baseline runs too (it reports NaN, not a
+            // panic, when a step's covariance is singular).
+            (MeasureConfig::Gaussian, false),
+        ];
+        for (measure, sees_trend) in selections {
+            let mut p = small_pipeline();
+            p.ensemble.samples = 80;
+            p.measure = measure;
+            let result = evaluate_ensemble(&ensemble, &p);
+            assert!(
+                result.mi.values.iter().all(|v| v.is_finite()),
+                "{}: {:?}",
+                measure.label(),
+                result.mi.values
+            );
+            if sees_trend {
+                assert!(
+                    result.mi.increase() > 0.0,
+                    "{} must see the organization: {:?}",
+                    measure.label(),
+                    result.mi.values
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_ksg_measure_bit_matches_direct_estimator() {
+        // The trait-driven worker must produce exactly what the direct
+        // engine produces on the same reduced observers.
+        let ensemble = run_ensemble(&small_spec(50, 20), 0);
+        let mut p = Pipeline::new(small_spec(50, 20));
+        p.eval_every = 20;
+        p.measure = MeasureConfig::Binned(sops_info::BinningConfig::default());
+        p.threads = 1;
+        let via_pipeline = evaluate_ensemble(&ensemble, &p);
+
+        let types = p.ensemble.model.types().to_vec();
+        let type_count = p.ensemble.model.type_count();
+        let inner_reduce = ReduceConfig {
+            threads: 1,
+            ..p.reduce
+        };
+        for (ti, &t) in p.eval_times().iter().enumerate() {
+            let slice = ensemble.at_time(t);
+            let reduced =
+                sops_shape::ensemble::reduce_configurations(&slice, &types, &inner_reduce);
+            let observers =
+                build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
+            let want = sops_info::BinnedWorkspace::new()
+                .multi_information(&observers.view(), &sops_info::BinningConfig::default());
+            assert_eq!(via_pipeline.mi.values[ti].to_bits(), want.to_bits());
+        }
     }
 }

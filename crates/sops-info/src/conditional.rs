@@ -16,27 +16,256 @@
 //! special case `T_{Y→X} = I(X′ ; Y | X)` with `X′` the successor state
 //! of `X`.
 //!
+//! The engine behind the estimate is [`CmiWorkspace`]: the joint k-NN
+//! routes through the same adaptive scan/kd-tree choice as the KSG engine
+//! (`CmiConfig::knn`, turning the `O(m²)` joint scan into `O(m log m)` at
+//! the low joint dimensions transfer entropy lives at), all scratch is
+//! persistent, and per-sample ψ terms are reduced in sample order — the
+//! estimate is **bit-identical for any worker count** and to the frozen
+//! sequential reference in `crates/sops-info/tests/workspace_measure.rs`.
+//!
 //! Note §5.2's caveat: statistics that track particles over time must use
 //! the *raw* (non-permutation-reduced) trajectories; the shape reduction
 //! deliberately destroys temporal identity.
 
+use crate::ksg::KnnMode;
+use crate::workspace::{resolve_threads, use_tree, INFO_CHUNKS};
 use sops_math::special::digamma;
 use sops_math::NATS_TO_BITS;
-use sops_spatial::block_max::{knn_block_max, BlockPoints};
+use sops_spatial::block_max::{knn_block_max_into, knn_block_max_tree_into, BlockPoints};
 use sops_spatial::KdTree;
 
-/// Configuration for [`conditional_mutual_information`].
+/// Configuration for the Frenzel–Pompe estimator.
 #[derive(Debug, Clone, Copy)]
 pub struct CmiConfig {
     /// Neighbour order `k` (default 4, like the KSG default).
     pub k: usize,
-    /// Worker threads (0 = default).
+    /// Worker threads (0 = default). Results are bit-identical for any
+    /// thread count.
     pub threads: usize,
+    /// Joint k-NN strategy (default: adaptive, like [`crate::KsgConfig`]).
+    /// Both paths return identical results.
+    pub knn: KnnMode,
 }
 
 impl Default for CmiConfig {
     fn default() -> Self {
-        CmiConfig { k: 4, threads: 0 }
+        CmiConfig {
+            k: 4,
+            threads: 0,
+            knn: KnnMode::default(),
+        }
+    }
+}
+
+/// Per-span scratch of the CMI engine.
+#[derive(Debug, Clone)]
+struct CmiChunk {
+    /// Per-sample ψ terms of this span, reduced in sample order.
+    psi: Vec<f64>,
+    /// Joint k-NN result buffer.
+    neigh: Vec<(usize, f64)>,
+    /// Explicit stack for the kd-tree descent.
+    stack: Vec<(u32, f64)>,
+}
+
+impl CmiChunk {
+    fn new() -> Self {
+        CmiChunk {
+            psi: Vec::new(),
+            neigh: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.psi.capacity());
+        sig.push(self.neigh.capacity());
+        sig.push(self.stack.capacity());
+    }
+}
+
+/// Persistent buffers for Frenzel–Pompe conditional mutual information —
+/// the CMI-side sibling of [`crate::InfoWorkspace`]. One workspace
+/// serves repeated [`CmiWorkspace::conditional_mutual_information`] /
+/// [`CmiWorkspace::transfer_entropy`] calls (a transfer-matrix sweep runs
+/// `n(n−1)` of them per time step) without touching the allocator once
+/// warm.
+#[derive(Debug, Clone)]
+pub struct CmiWorkspace {
+    /// Gathered `(x | y | z)` joint samples.
+    joint: Vec<f64>,
+    /// Prefix-offset buffer for the joint block view.
+    offsets: Vec<usize>,
+    /// Kd-tree over the Z marginal (candidate superset queries).
+    tree_z: KdTree,
+    /// Kd-tree over the joint samples (low-dimension k-NN path).
+    joint_tree: KdTree,
+    /// Fixed per-span scratch.
+    chunks: Vec<CmiChunk>,
+}
+
+impl Default for CmiWorkspace {
+    fn default() -> Self {
+        CmiWorkspace::new()
+    }
+}
+
+impl CmiWorkspace {
+    /// An empty workspace; buffers grow to the workload size on first use.
+    pub fn new() -> Self {
+        CmiWorkspace {
+            joint: Vec::new(),
+            offsets: Vec::new(),
+            tree_z: KdTree::build(1, &[]),
+            joint_tree: KdTree::build(1, &[]),
+            chunks: vec![CmiChunk::new(); INFO_CHUNKS],
+        }
+    }
+
+    /// Estimates `I(X;Y|Z)` in bits from `rows` joint samples — the
+    /// workspace form of [`conditional_mutual_information`], identical in
+    /// result, allocation-free once warm.
+    ///
+    /// `x`, `y`, `z` are row-major `rows × dim` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes, `k = 0`, or `k >= rows`.
+    pub fn conditional_mutual_information(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        rows: usize,
+        dims: (usize, usize, usize),
+        cfg: &CmiConfig,
+    ) -> f64 {
+        let (dx, dy, dz) = dims;
+        assert_eq!(x.len(), rows * dx, "CMI: x shape");
+        assert_eq!(y.len(), rows * dy, "CMI: y shape");
+        assert_eq!(z.len(), rows * dz, "CMI: z shape");
+        assert!(cfg.k >= 1 && cfg.k < rows, "CMI: k out of range");
+
+        let CmiWorkspace {
+            joint,
+            offsets,
+            tree_z,
+            joint_tree,
+            chunks,
+        } = self;
+
+        // Joint (x, y, z) samples as three blocks: the block-max metric
+        // over (x|y|z) blocks is the product max-norm the Frenzel-Pompe
+        // estimator uses.
+        joint.clear();
+        for r in 0..rows {
+            joint.extend_from_slice(&x[r * dx..(r + 1) * dx]);
+            joint.extend_from_slice(&y[r * dy..(r + 1) * dy]);
+            joint.extend_from_slice(&z[r * dz..(r + 1) * dz]);
+        }
+        let sizes = [dx, dy, dz];
+
+        // Counts in the marginal spaces (Z), (X,Z) and (Y,Z) under the
+        // product max-norm: a point is within eps of the query in (X,Z)
+        // iff it is within eps in X AND within eps in Z. A kd-tree over Z
+        // yields the candidate superset; the conjunctions are checked by
+        // direct per-block distance tests (exact, and cheap at ensemble
+        // sizes).
+        tree_z.rebuild(dz, z);
+        let joint_tree = if use_tree(cfg.knn, dx + dy + dz, rows) {
+            joint_tree.rebuild(dx + dy + dz, joint);
+            Some(&*joint_tree)
+        } else {
+            None
+        };
+        let points = BlockPoints::with_offset_buf(offsets, joint, rows, &sizes);
+
+        let threads = resolve_threads(cfg.threads);
+        let nchunks = chunks.len();
+        let tree_z = &*tree_z;
+        let k = cfg.k;
+        sops_par::parallel_chunks_mut(chunks, nchunks, threads, |c, bufs| {
+            let CmiChunk { psi, neigh, stack } = &mut bufs[0];
+            psi.clear();
+            let lo = c * rows / nchunks;
+            let hi = (c + 1) * rows / nchunks;
+            for i in lo..hi {
+                match joint_tree {
+                    Some(tree) => knn_block_max_tree_into(&points, tree, i, k, stack, neigh),
+                    None => knn_block_max_into(&points, i, k, neigh),
+                }
+                let eps = neigh.last().expect("CMI: kth neighbour").1;
+                // Candidates within eps in Z (inclusive) — superset of the
+                // strict conjunctive counts below; visited in tree order
+                // (the counts are order-independent integers, so no buffer
+                // and no sort).
+                let zq = &z[i * dz..(i + 1) * dz];
+                let mut c_z = 0usize;
+                let mut c_xz = 0usize;
+                let mut c_yz = 0usize;
+                let xq = &x[i * dx..(i + 1) * dx];
+                let yq = &y[i * dy..(i + 1) * dy];
+                tree_z.for_each_within(zq, eps, |j| {
+                    if j == i {
+                        return;
+                    }
+                    let zd = sops_spatial::dist_sq(&z[j * dz..(j + 1) * dz], zq).sqrt();
+                    if zd >= eps {
+                        return; // strict
+                    }
+                    c_z += 1;
+                    let xd = sops_spatial::dist_sq(&x[j * dx..(j + 1) * dx], xq).sqrt();
+                    if xd < eps {
+                        c_xz += 1;
+                    }
+                    let yd = sops_spatial::dist_sq(&y[j * dy..(j + 1) * dy], yq).sqrt();
+                    if yd < eps {
+                        c_yz += 1;
+                    }
+                });
+                psi.push(
+                    digamma((c_z + 1) as f64)
+                        - digamma((c_xz + 1) as f64)
+                        - digamma((c_yz + 1) as f64),
+                );
+            }
+        });
+        // Sample-order reduction: bit-identical for any worker count.
+        let mut psi_sum = 0.0;
+        for chunk in chunks.iter() {
+            for &v in &chunk.psi {
+                psi_sum += v;
+            }
+        }
+        let nats = digamma(cfg.k as f64) + psi_sum / rows as f64;
+        nats * NATS_TO_BITS
+    }
+
+    /// Transfer entropy `T_{Y→X} = I(X′ ; Y | X)` in bits across an
+    /// ensemble — the workspace form of [`transfer_entropy`].
+    pub fn transfer_entropy(
+        &mut self,
+        x_next: &[f64],
+        y_past: &[f64],
+        x_past: &[f64],
+        rows: usize,
+        dims: (usize, usize, usize),
+        cfg: &CmiConfig,
+    ) -> f64 {
+        self.conditional_mutual_information(x_next, y_past, x_past, rows, dims, cfg)
+    }
+
+    /// Capacities of every internal buffer — constant for a warmed-up
+    /// workspace (the zero-allocation contract).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![self.joint.capacity(), self.offsets.capacity()];
+        sig.extend(self.tree_z.capacity_signature());
+        sig.extend(self.joint_tree.capacity_signature());
+        for chunk in &self.chunks {
+            chunk.capacity_signature(&mut sig);
+        }
+        sig
     }
 }
 
@@ -44,9 +273,18 @@ impl Default for CmiConfig {
 ///
 /// `x`, `y`, `z` are row-major `rows × dim` matrices.
 ///
+/// Deprecated: this shim spins up a throwaway [`CmiWorkspace`] per call.
+/// Repeated callers (transfer matrices, lag sweeps) should hold a
+/// workspace (or a [`crate::measure::MeasureWorkspace`]) and reuse it;
+/// the result is identical.
+///
 /// # Panics
 ///
 /// Panics on inconsistent shapes, `k = 0`, or `k >= rows`.
+#[deprecated(
+    since = "0.4.0",
+    note = "use CmiWorkspace::conditional_mutual_information (or MeasureWorkspace::conditional_mutual_information) — this shim rebuilds all scratch per call"
+)]
 pub fn conditional_mutual_information(
     x: &[f64],
     y: &[f64],
@@ -55,84 +293,14 @@ pub fn conditional_mutual_information(
     dims: (usize, usize, usize),
     cfg: &CmiConfig,
 ) -> f64 {
-    let (dx, dy, dz) = dims;
-    assert_eq!(x.len(), rows * dx, "CMI: x shape");
-    assert_eq!(y.len(), rows * dy, "CMI: y shape");
-    assert_eq!(z.len(), rows * dz, "CMI: z shape");
-    assert!(cfg.k >= 1 && cfg.k < rows, "CMI: k out of range");
-
-    // Joint (x, y, z) samples as three blocks: the block-max metric over
-    // (x|y|z) blocks is the product max-norm the Frenzel-Pompe estimator
-    // uses.
-    let mut joint = Vec::with_capacity(rows * (dx + dy + dz));
-    for r in 0..rows {
-        joint.extend_from_slice(&x[r * dx..(r + 1) * dx]);
-        joint.extend_from_slice(&y[r * dy..(r + 1) * dy]);
-        joint.extend_from_slice(&z[r * dz..(r + 1) * dz]);
-    }
-    let sizes = [dx, dy, dz];
-    let points = BlockPoints::new(&joint, rows, &sizes);
-
-    // Counts in the marginal spaces (Z), (X,Z) and (Y,Z) under the
-    // product max-norm: a point is within eps of the query in (X,Z) iff
-    // it is within eps in X AND within eps in Z. A kd-tree over Z yields
-    // the candidate superset; the conjunctions are checked by direct
-    // per-block distance tests (exact, and cheap at ensemble sizes).
-    let tree_z = KdTree::build(dz, z);
-
-    let threads = if cfg.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        cfg.threads
-    };
-    let psi_sum = sops_par::parallel_reduce(
-        rows,
-        threads,
-        || 0.0f64,
-        |acc, i| {
-            let neighbours = knn_block_max(&points, i, cfg.k);
-            let eps = neighbours.last().expect("CMI: kth neighbour").1;
-            // Candidates within eps in Z (strict) — superset of both
-            // conjunctive counts.
-            let zq = &z[i * dz..(i + 1) * dz];
-            let z_candidates = tree_z.range_indices(zq, eps);
-            let mut c_z = 0usize;
-            let mut c_xz = 0usize;
-            let mut c_yz = 0usize;
-            let xq = &x[i * dx..(i + 1) * dx];
-            let yq = &y[i * dy..(i + 1) * dy];
-            for &j in &z_candidates {
-                if j == i {
-                    continue;
-                }
-                let zd = sops_spatial::dist_sq(&z[j * dz..(j + 1) * dz], zq).sqrt();
-                if zd >= eps {
-                    continue; // strict
-                }
-                c_z += 1;
-                let xd = sops_spatial::dist_sq(&x[j * dx..(j + 1) * dx], xq).sqrt();
-                if xd < eps {
-                    c_xz += 1;
-                }
-                let yd = sops_spatial::dist_sq(&y[j * dy..(j + 1) * dy], yq).sqrt();
-                if yd < eps {
-                    c_yz += 1;
-                }
-            }
-            acc + digamma((c_z + 1) as f64)
-                - digamma((c_xz + 1) as f64)
-                - digamma((c_yz + 1) as f64)
-        },
-        |a, b| a + b,
-    );
-    let nats = digamma(cfg.k as f64) + psi_sum / rows as f64;
-    nats * NATS_TO_BITS
+    CmiWorkspace::new().conditional_mutual_information(x, y, z, rows, dims, cfg)
 }
 
 /// Transfer entropy `T_{Y→X} = I(X′ ; Y | X)` in bits across an ensemble:
 /// `x_next`, `y_past`, `x_past` are `rows × dim` matrices of the successor
 /// state of X, the past of Y and the past of X over independent
-/// realizations.
+/// realizations. Convenience shim over [`CmiWorkspace::transfer_entropy`];
+/// repeated callers should hold a workspace.
 pub fn transfer_entropy(
     x_next: &[f64],
     y_past: &[f64],
@@ -141,7 +309,7 @@ pub fn transfer_entropy(
     dims: (usize, usize, usize),
     cfg: &CmiConfig,
 ) -> f64 {
-    conditional_mutual_information(x_next, y_past, x_past, rows, dims, cfg)
+    CmiWorkspace::new().transfer_entropy(x_next, y_past, x_past, rows, dims, cfg)
 }
 
 /// Analytic conditional mutual information of a Gaussian (bits):
@@ -182,6 +350,17 @@ mod tests {
     use super::*;
     use sops_math::{Matrix, SplitMix64};
 
+    fn cmi(
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        rows: usize,
+        dims: (usize, usize, usize),
+        cfg: &CmiConfig,
+    ) -> f64 {
+        CmiWorkspace::new().conditional_mutual_information(x, y, z, rows, dims, cfg)
+    }
+
     /// Draws AR-style triples: Z ~ N(0,1); X = a·Z + noise; Y = b·Z + noise.
     /// X ⊥ Y | Z by construction, but I(X;Y) > 0.
     fn common_cause_samples(m: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
@@ -201,8 +380,7 @@ mod tests {
     #[test]
     fn cmi_vanishes_for_conditionally_independent_data() {
         let (x, y, z) = common_cause_samples(1200, 3);
-        let cmi =
-            conditional_mutual_information(&x, &y, &z, 1200, (1, 1, 1), &CmiConfig::default());
+        let cmi = cmi(&x, &y, &z, 1200, (1, 1, 1), &CmiConfig::default());
         assert!(cmi.abs() < 0.1, "X⊥Y|Z must give ~0, got {cmi}");
         // Whereas the unconditional MI is clearly positive.
         let mi = crate::ksg::mutual_information(&x, &y, 1200, 1, 1, &crate::KsgConfig::default());
@@ -230,7 +408,7 @@ mod tests {
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let cov = Matrix::covariance_of(&refs);
         let truth = gaussian_conditional_mi(&cov, (1, 1, 1));
-        let est = conditional_mutual_information(&x, &y, &z, m, (1, 1, 1), &CmiConfig::default());
+        let est = cmi(&x, &y, &z, m, (1, 1, 1), &CmiConfig::default());
         assert!(
             (est - truth).abs() < 0.12,
             "CMI est {est} vs Gaussian truth {truth}"
@@ -258,32 +436,52 @@ mod tests {
             y_next.push(0.9 * yp + 0.3 * rng.next_standard_normal());
         }
         let cfg = CmiConfig::default();
-        let te_yx = transfer_entropy(&x_next, &y_past, &x_past, m, (1, 1, 1), &cfg);
-        let te_xy = transfer_entropy(&y_next, &x_past, &y_past, m, (1, 1, 1), &cfg);
+        let mut ws = CmiWorkspace::new();
+        let te_yx = ws.transfer_entropy(&x_next, &y_past, &x_past, m, (1, 1, 1), &cfg);
+        let te_xy = ws.transfer_entropy(&y_next, &x_past, &y_past, m, (1, 1, 1), &cfg);
         assert!(te_yx > 0.5, "driver must be detected: TE(Y→X) = {te_yx}");
         assert!(te_xy.abs() < 0.1, "no reverse flow: TE(X→Y) = {te_xy}");
     }
 
     #[test]
-    fn cmi_deterministic_across_threads() {
+    fn cmi_bit_identical_across_threads_and_knn_paths() {
         let (x, y, z) = common_cause_samples(400, 5);
-        let a = conditional_mutual_information(
+        let mut ws = CmiWorkspace::new();
+        let base = ws.conditional_mutual_information(
             &x,
             &y,
             &z,
             400,
             (1, 1, 1),
-            &CmiConfig { k: 4, threads: 1 },
+            &CmiConfig {
+                k: 4,
+                threads: 1,
+                knn: KnnMode::BruteForce,
+            },
         );
-        let b = conditional_mutual_information(
-            &x,
-            &y,
-            &z,
-            400,
-            (1, 1, 1),
-            &CmiConfig { k: 4, threads: 8 },
-        );
-        assert!((a - b).abs() < 1e-12);
+        for knn in [KnnMode::BruteForce, KnnMode::KdTree, KnnMode::Auto] {
+            for threads in [1usize, 8] {
+                let got = ws.conditional_mutual_information(
+                    &x,
+                    &y,
+                    &z,
+                    400,
+                    (1, 1, 1),
+                    &CmiConfig { k: 4, threads, knn },
+                );
+                assert_eq!(got.to_bits(), base.to_bits(), "{knn:?}/t{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_shim_matches_workspace() {
+        let (x, y, z) = common_cause_samples(200, 8);
+        #[allow(deprecated)]
+        let shim =
+            conditional_mutual_information(&x, &y, &z, 200, (1, 1, 1), &CmiConfig::default());
+        let ws = cmi(&x, &y, &z, 200, (1, 1, 1), &CmiConfig::default());
+        assert_eq!(shim.to_bits(), ws.to_bits());
     }
 
     #[test]
@@ -307,7 +505,7 @@ mod tests {
                 0.7 * z1 + 0.5 * rng.next_standard_normal(),
             ]);
         }
-        let cmi = conditional_mutual_information(&x, &y, &z, m, (2, 2, 2), &CmiConfig::default());
+        let cmi = cmi(&x, &y, &z, m, (2, 2, 2), &CmiConfig::default());
         assert!(
             cmi.abs() < 0.15,
             "conditionally independent 2-D blocks: {cmi}"

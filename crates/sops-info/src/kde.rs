@@ -12,7 +12,15 @@
 //! with per-dimension Silverman bandwidths. `O(m² d)` with a large
 //! constant — the `estimators` bench reproduces the paper's speed
 //! comparison against KSG.
+//!
+//! The engine behind the estimate is [`KdeWorkspace`]: persistent
+//! log-sum-exp scratch partitioned into the same fixed sample spans as
+//! `InfoWorkspace`, per-sample log ratios reduced in sample order —
+//! allocation-free once warm and **bit-identical for any worker count**
+//! to the sequential pre-workspace implementation (frozen in
+//! `crates/sops-info/tests/workspace_measure.rs`).
 
+use crate::workspace::{resolve_threads, INFO_CHUNKS};
 use crate::SampleView;
 use sops_math::stats;
 use sops_math::NATS_TO_BITS;
@@ -23,7 +31,8 @@ pub struct KdeConfig {
     /// Multiplier on the Silverman rule-of-thumb bandwidth (1.0 = rule of
     /// thumb).
     pub bandwidth_factor: f64,
-    /// Worker threads (0 = default).
+    /// Worker threads (0 = default). Results are bit-identical for any
+    /// thread count.
     pub threads: usize,
 }
 
@@ -36,26 +45,154 @@ impl Default for KdeConfig {
     }
 }
 
-/// Per-dimension Silverman bandwidth: `h_d = σ_d (4/((d+2) m))^{1/(d+4)}`.
-fn silverman_bandwidths(view: &SampleView<'_>, factor: f64) -> Vec<f64> {
+/// Per-span scratch of the KDE engine: one log-sum-exp buffer plus the
+/// span's per-sample log ratios.
+#[derive(Debug, Clone, Default)]
+struct KdeChunk {
+    /// Per-sample `log p̂(wᵢ) − Σ_b log p̂_b(wᵢ_b)` values of this span.
+    vals: Vec<f64>,
+    /// Kernel log-weights of the current (sample, term) pair.
+    logs: Vec<f64>,
+}
+
+impl KdeChunk {
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.vals.capacity());
+        sig.push(self.logs.capacity());
+    }
+}
+
+/// Persistent buffers for the leave-one-out KDE estimator — the
+/// KDE-side sibling of [`crate::InfoWorkspace`]. One workspace serves
+/// repeated calls over views of any shape; all scratch is reused, so a
+/// warmed-up workspace allocates nothing per call (enforced by
+/// `crates/sops-info/tests/workspace_measure.rs`).
+#[derive(Debug, Clone)]
+pub struct KdeWorkspace {
+    /// Per-dimension Silverman bandwidths of the current view.
+    bandwidths: Vec<f64>,
+    /// Column gather scratch for the bandwidth pass.
+    column: Vec<f64>,
+    /// Block column ranges `[start, end)` of the current view.
+    ranges: Vec<(usize, usize)>,
+    /// Fixed per-span scratch.
+    chunks: Vec<KdeChunk>,
+}
+
+impl Default for KdeWorkspace {
+    fn default() -> Self {
+        KdeWorkspace::new()
+    }
+}
+
+impl KdeWorkspace {
+    /// An empty workspace; buffers grow to the workload size on first use.
+    pub fn new() -> Self {
+        KdeWorkspace {
+            bandwidths: Vec::new(),
+            column: Vec::new(),
+            ranges: Vec::new(),
+            chunks: vec![KdeChunk::default(); INFO_CHUNKS],
+        }
+    }
+
+    /// Estimates the multi-information (bits) between the observer blocks
+    /// of `view` with the leave-one-out KDE ratio — the workspace form of
+    /// [`multi_information_kde`], identical in result, allocation-free
+    /// once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view.rows < 3`.
+    pub fn multi_information(&mut self, view: &SampleView<'_>, cfg: &KdeConfig) -> f64 {
+        if view.blocks() < 2 {
+            return 0.0;
+        }
+        assert!(view.rows >= 3, "KDE: need at least 3 samples");
+        let stride = view.stride();
+        self.bandwidths.clear();
+        silverman_bandwidths_into(
+            view,
+            cfg.bandwidth_factor,
+            &mut self.column,
+            &mut self.bandwidths,
+        );
+        self.ranges.clear();
+        let mut off = 0;
+        for &b in view.block_sizes {
+            self.ranges.push((off, off + b));
+            off += b;
+        }
+        let threads = resolve_threads(cfg.threads);
+        let m = view.rows;
+        let nchunks = self.chunks.len();
+        let bandwidths = &self.bandwidths;
+        let ranges = &self.ranges;
+        sops_par::parallel_chunks_mut(&mut self.chunks, nchunks, threads, |c, bufs| {
+            let KdeChunk { vals, logs } = &mut bufs[0];
+            vals.clear();
+            let lo = c * m / nchunks;
+            let hi = (c + 1) * m / nchunks;
+            for i in lo..hi {
+                let joint = loo_log_density(view, bandwidths, i, 0, stride, logs);
+                let marginals: f64 = ranges
+                    .iter()
+                    .map(|&(s, e)| loo_log_density(view, bandwidths, i, s, e, logs))
+                    .sum();
+                vals.push(joint - marginals);
+            }
+        });
+        // Sample-order reduction: bit-identical to the sequential fold for
+        // any worker count.
+        let mut total = 0.0;
+        for chunk in &self.chunks {
+            for &v in &chunk.vals {
+                total += v;
+            }
+        }
+        total / m as f64 * NATS_TO_BITS
+    }
+
+    /// Capacities of every internal buffer — constant for a warmed-up
+    /// workspace (the zero-allocation contract).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![
+            self.bandwidths.capacity(),
+            self.column.capacity(),
+            self.ranges.capacity(),
+        ];
+        for chunk in &self.chunks {
+            chunk.capacity_signature(&mut sig);
+        }
+        sig
+    }
+}
+
+/// Per-dimension Silverman bandwidth, `h_d = σ_d (4/((d+2) m))^{1/(d+4)}`,
+/// written into `out` (`column` is gather scratch).
+fn silverman_bandwidths_into(
+    view: &SampleView<'_>,
+    factor: f64,
+    column: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     let d = view.stride();
     let m = view.rows as f64;
     let exponent = 1.0 / (d as f64 + 4.0);
     let scale = (4.0 / ((d as f64 + 2.0) * m)).powf(exponent) * factor;
-    (0..d)
-        .map(|col| {
-            let column: Vec<f64> = (0..view.rows).map(|r| view.row(r)[col]).collect();
-            let sd = stats::variance(&column).sqrt();
-            // Degenerate (constant) dimensions get a tiny positive
-            // bandwidth so the density stays proper.
-            (sd * scale).max(1e-12)
-        })
-        .collect()
+    for col in 0..d {
+        column.clear();
+        column.extend((0..view.rows).map(|r| view.row(r)[col]));
+        let sd = stats::variance(column).sqrt();
+        // Degenerate (constant) dimensions get a tiny positive
+        // bandwidth so the density stays proper.
+        out.push((sd * scale).max(1e-12));
+    }
 }
 
 /// Leave-one-out log-density (nats, up to the normalization constant
 /// cancelled in the MI ratio) of row `i` over the dimensions in
-/// `[start, end)`.
+/// `[start, end)`. `logs` is the log-sum-exp scratch (cleared first).
 #[inline]
 fn loo_log_density(
     view: &SampleView<'_>,
@@ -63,12 +200,13 @@ fn loo_log_density(
     i: usize,
     start: usize,
     end: usize,
+    logs: &mut Vec<f64>,
 ) -> f64 {
     let mut acc = 0.0f64;
     let ri = view.row(i);
     // log-sum-exp over j != i for numerical stability.
     let mut max_log = f64::NEG_INFINITY;
-    let mut logs: Vec<f64> = Vec::with_capacity(view.rows - 1);
+    logs.clear();
     for j in 0..view.rows {
         if j == i {
             continue;
@@ -84,7 +222,7 @@ fn loo_log_density(
             max_log = e;
         }
     }
-    for &e in &logs {
+    for &e in logs.iter() {
         acc += (e - max_log).exp();
     }
     // Normalization by bandwidth product and (2π)^{d/2} cancels between
@@ -97,39 +235,18 @@ fn loo_log_density(
 
 /// Estimates the multi-information (bits) between the observer blocks of
 /// `view` with the leave-one-out KDE ratio.
+///
+/// Deprecated: this shim spins up a throwaway [`KdeWorkspace`] per call.
+/// Repeated callers should hold a workspace (or a
+/// [`crate::measure::MeasureWorkspace`] driving the
+/// [`crate::measure::Estimator`] trait) and reuse it; the result is
+/// identical.
+#[deprecated(
+    since = "0.4.0",
+    note = "use KdeWorkspace::multi_information (or MeasureWorkspace with MeasureConfig::Kde) — this shim rebuilds all scratch per call"
+)]
 pub fn multi_information_kde(view: &SampleView<'_>, cfg: &KdeConfig) -> f64 {
-    if view.blocks() < 2 {
-        return 0.0;
-    }
-    assert!(view.rows >= 3, "KDE: need at least 3 samples");
-    let bandwidths = silverman_bandwidths(view, cfg.bandwidth_factor);
-    // Block column ranges.
-    let mut ranges = Vec::with_capacity(view.blocks());
-    let mut off = 0;
-    for &b in view.block_sizes {
-        ranges.push((off, off + b));
-        off += b;
-    }
-    let threads = if cfg.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        cfg.threads
-    };
-    let total = sops_par::parallel_reduce(
-        view.rows,
-        threads,
-        || 0.0f64,
-        |acc, i| {
-            let joint = loo_log_density(view, &bandwidths, i, 0, view.stride());
-            let marginals: f64 = ranges
-                .iter()
-                .map(|&(s, e)| loo_log_density(view, &bandwidths, i, s, e))
-                .sum();
-            acc + (joint - marginals)
-        },
-        |a, b| a + b,
-    );
-    total / view.rows as f64 * NATS_TO_BITS
+    KdeWorkspace::new().multi_information(view, cfg)
 }
 
 #[cfg(test)]
@@ -138,12 +255,16 @@ mod tests {
     use crate::gaussian::{bivariate_gaussian_mi, equicorrelated_cov, sample_gaussian};
     use sops_math::Matrix;
 
+    fn kde(view: &SampleView<'_>, cfg: &KdeConfig) -> f64 {
+        KdeWorkspace::new().multi_information(view, cfg)
+    }
+
     #[test]
     fn independent_gaussians_near_zero() {
         let data = sample_gaussian(&Matrix::identity(2), 600, 3);
         let sizes = [1usize, 1];
         let view = SampleView::new(&data, 600, &sizes);
-        let i = multi_information_kde(&view, &KdeConfig::default());
+        let i = kde(&view, &KdeConfig::default());
         assert!(i.abs() < 0.1, "KDE on independent data: {i}");
     }
 
@@ -153,7 +274,7 @@ mod tests {
         let data = sample_gaussian(&equicorrelated_cov(2, rho), 800, 5);
         let sizes = [1usize, 1];
         let view = SampleView::new(&data, 800, &sizes);
-        let est = multi_information_kde(&view, &KdeConfig::default());
+        let est = kde(&view, &KdeConfig::default());
         let truth = bivariate_gaussian_mi(rho);
         // KDE carries more bias than KSG — the paper's point; accept ±0.25.
         assert!((est - truth).abs() < 0.25, "KDE est {est} vs truth {truth}");
@@ -164,11 +285,11 @@ mod tests {
         let sizes = [1usize, 1];
         let weak_data = sample_gaussian(&equicorrelated_cov(2, 0.2), 500, 7);
         let strong_data = sample_gaussian(&equicorrelated_cov(2, 0.9), 500, 7);
-        let weak = multi_information_kde(
+        let weak = kde(
             &SampleView::new(&weak_data, 500, &sizes),
             &KdeConfig::default(),
         );
-        let strong = multi_information_kde(
+        let strong = kde(
             &SampleView::new(&strong_data, 500, &sizes),
             &KdeConfig::default(),
         );
@@ -176,25 +297,50 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_across_threads() {
+    fn bit_identical_across_threads() {
         let data = sample_gaussian(&equicorrelated_cov(2, 0.5), 300, 9);
         let sizes = [1usize, 1];
         let view = SampleView::new(&data, 300, &sizes);
-        let one = multi_information_kde(
+        let mut ws = KdeWorkspace::new();
+        let one = ws.multi_information(
             &view,
             &KdeConfig {
                 threads: 1,
                 ..KdeConfig::default()
             },
         );
-        let many = multi_information_kde(
+        let many = ws.multi_information(
             &view,
             &KdeConfig {
                 threads: 8,
                 ..KdeConfig::default()
             },
         );
-        assert!((one - many).abs() < 1e-9);
+        assert_eq!(one.to_bits(), many.to_bits());
+    }
+
+    #[test]
+    fn deprecated_shim_matches_workspace() {
+        let data = sample_gaussian(&equicorrelated_cov(2, 0.6), 200, 11);
+        let sizes = [1usize, 1];
+        let view = SampleView::new(&data, 200, &sizes);
+        #[allow(deprecated)]
+        let shim = multi_information_kde(&view, &KdeConfig::default());
+        let ws = kde(&view, &KdeConfig::default());
+        assert_eq!(shim.to_bits(), ws.to_bits());
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh() {
+        let mut ws = KdeWorkspace::new();
+        for (blocks, rows, seed) in [(2usize, 300usize, 1u64), (4, 150, 2), (3, 220, 3)] {
+            let data = sample_gaussian(&equicorrelated_cov(blocks, 0.4), rows, seed);
+            let sizes = vec![1usize; blocks];
+            let view = SampleView::new(&data, rows, &sizes);
+            let reused = ws.multi_information(&view, &KdeConfig::default());
+            let fresh = KdeWorkspace::new().multi_information(&view, &KdeConfig::default());
+            assert_eq!(reused.to_bits(), fresh.to_bits());
+        }
     }
 
     #[test]
@@ -208,7 +354,7 @@ mod tests {
         }
         let sizes = [1usize, 1];
         let view = SampleView::new(&data, 200, &sizes);
-        let est = multi_information_kde(&view, &KdeConfig::default());
+        let est = kde(&view, &KdeConfig::default());
         assert!(est.is_finite());
     }
 }

@@ -12,22 +12,31 @@
 //! Kraskov–Stögbauer–Grassberger (KSG) k-NN estimator. This crate
 //! implements:
 //!
+//! * [`measure`] — the unified measurement engine: the [`Estimator`]
+//!   trait (`prepare`/`estimate`), [`MeasureConfig`] selection enum, and
+//!   [`MeasureWorkspace`], one persistent engine per estimator family
+//!   behind a single polymorphic surface — what the pipeline's evaluation
+//!   workers own;
 //! * [`ksg`] — the paper's exact formula (Eq. 18–20) plus the two
 //!   canonical KSG variants as ablations;
 //! * [`workspace`] — [`InfoWorkspace`], the persistent allocation-free
 //!   engine behind every KSG entry point (shared per-block indexes,
 //!   adaptive joint k-NN, bit-identical for any worker count);
 //! * [`kde`] — the kernel-density baseline the paper found "multiple
-//!   orders of magnitudes slower" with larger variance (§5.3);
+//!   orders of magnitudes slower" with larger variance (§5.3), behind the
+//!   persistent [`kde::KdeWorkspace`];
 //! * [`binning`] — the James–Stein shrinkage binning baseline the paper
-//!   found to overestimate in high dimension (§5.3);
+//!   found to overestimate in high dimension (§5.3), behind the
+//!   persistent, hash-free [`binning::BinnedWorkspace`];
 //! * [`entropy`] — Kozachenko–Leonenko differential entropy, used for the
 //!   marginal/joint entropy evolution discussion (§6, §7.1);
 //! * [`gaussian`] — analytic Gaussian multi-information + correlated
-//!   samplers, the ground truth for validation tests;
+//!   samplers (validation ground truth), plus the empirical-covariance
+//!   Gaussian baseline estimator;
 //! * [`decomposition`] — the coarse-graining decomposition of Eq. 4–5;
 //! * [`conditional`] — Frenzel–Pompe conditional mutual information and
-//!   transfer entropy, the §7.3 future-work tooling;
+//!   transfer entropy (§7.3 tooling), behind the persistent
+//!   [`conditional::CmiWorkspace`] with adaptive joint k-NN;
 //! * [`discrete`] — plug-in entropy / mutual information over counts
 //!   (test substrate and building block for the binning estimator).
 //!
@@ -41,12 +50,23 @@ pub mod entropy;
 pub mod gaussian;
 pub mod kde;
 pub mod ksg;
+pub mod measure;
 pub mod workspace;
 
-pub use conditional::{conditional_mutual_information, transfer_entropy, CmiConfig};
+pub use binning::{BinnedWorkspace, BinningConfig, SupportModel};
+pub use conditional::{transfer_entropy, CmiConfig, CmiWorkspace};
 pub use decomposition::{decompose, Decomposition, Grouping};
+pub use kde::{KdeConfig, KdeWorkspace};
 pub use ksg::{multi_information, pairwise_mi_matrix, KnnMode, KsgConfig, KsgVariant};
+pub use measure::{
+    BinnedEstimator, Estimator, GaussianEstimator, KdeEstimator, KsgEstimator, MeasureConfig,
+    MeasureWorkspace,
+};
 pub use workspace::InfoWorkspace;
+
+/// Deprecated shim re-exports (see each function's migration note).
+#[allow(deprecated)]
+pub use conditional::conditional_mutual_information;
 
 /// A borrowed view of `rows` joint samples, each a concatenation of
 /// observer blocks with the given sizes — the common input format of every

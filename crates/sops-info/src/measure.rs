@@ -1,0 +1,547 @@
+//! The unified measurement engine: one trait, one workspace, every
+//! estimator.
+//!
+//! PR 3 gave the KSG hot path a persistent engine (`InfoWorkspace`); this
+//! module extends the same treatment to the whole measurement stack and
+//! puts a single polymorphic surface on top of it:
+//!
+//! * [`Estimator`] — the two-phase `prepare(view)` / `estimate()` trait
+//!   every multi-information estimator implements. `prepare` binds a
+//!   sample view (copying it into owned scratch and building whatever
+//!   per-view indexes the method needs); `estimate` runs on the prepared
+//!   state. Adding an estimator to the workspace means implementing this
+//!   one trait.
+//! * [`MeasureConfig`] — the closed set of estimator selections the
+//!   pipeline understands (KSG, KDE, shrinkage binning, discrete plug-in,
+//!   Gaussian), carrying each method's own config.
+//! * [`MeasureWorkspace`] — owns one persistent engine per estimator
+//!   family plus the Frenzel–Pompe CMI engine, and dispatches any
+//!   [`MeasureConfig`] through the trait
+//!   ([`MeasureWorkspace::estimator_mut`] hands out `&mut dyn Estimator`).
+//!   The pipeline's evaluation workers hold one workspace each
+//!   (`sops_par::parallel_map_with`), so every estimator family enjoys
+//!   scratch reuse across the time steps a worker claims.
+//!
+//! Every engine keeps the contracts established by `InfoWorkspace`:
+//! results **bit-identical for any worker count** and to the respective
+//! pre-workspace reference (frozen in
+//! `crates/sops-info/tests/workspace_measure.rs`), and zero steady-state
+//! allocations on a bounded workload (capacity tests, same file). The
+//! Gaussian baseline is the one exception to the allocation contract: it
+//! builds a `d × d` covariance matrix per call (the method is `O(m d²)`
+//! with a trivial constant, so the allocation is irrelevant — and
+//! excluded from [`MeasureWorkspace::capacity_signature`]).
+
+use crate::binning::{BinnedWorkspace, BinningConfig, SupportModel};
+use crate::conditional::{CmiConfig, CmiWorkspace};
+use crate::decomposition::{Decomposition, Grouping};
+use crate::gaussian::multi_information_gaussian;
+use crate::kde::{KdeConfig, KdeWorkspace};
+use crate::ksg::KsgConfig;
+use crate::workspace::InfoWorkspace;
+use crate::SampleView;
+use sops_math::PairMatrix;
+
+/// A two-phase multi-information estimator over a [`SampleView`].
+///
+/// `prepare` binds the view — engines copy the samples into owned scratch
+/// (so the trait needs no lifetime parameter) and build per-view indexes;
+/// `estimate` evaluates on the prepared state and may be called again
+/// without re-preparing (same result). Engines are persistent: buffers
+/// grow to the workload on first use and are reused afterwards.
+pub trait Estimator {
+    /// Binds `view` as the estimation target.
+    fn prepare(&mut self, view: &SampleView<'_>);
+
+    /// Multi-information (bits) of the prepared view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no view has been prepared, or on the estimator family's
+    /// own invalid-parameter conditions (e.g. `k >= rows` for KSG).
+    fn estimate(&mut self) -> f64;
+
+    /// Convenience: `prepare` + `estimate` in one call.
+    fn measure(&mut self, view: &SampleView<'_>) -> f64 {
+        self.prepare(view);
+        self.estimate()
+    }
+}
+
+/// Which estimator the pipeline's measurement stage runs, with the
+/// method's own configuration.
+#[derive(Debug, Clone, Copy)]
+pub enum MeasureConfig {
+    /// Kraskov–Stögbauer–Grassberger k-NN estimator (the paper's method
+    /// and the default).
+    Ksg(KsgConfig),
+    /// Leave-one-out Gaussian-kernel density ratio (§5.3 baseline).
+    Kde(KdeConfig),
+    /// James–Stein shrinkage binning (§5.3 baseline).
+    Binned(BinningConfig),
+    /// Maximum-likelihood plug-in over equal-width bin tuples — the
+    /// discrete baseline (binning with shrinkage off, observed support).
+    DiscretePlugin {
+        /// Bins per coordinate.
+        bins: usize,
+    },
+    /// Closed-form Gaussian multi-information of the empirical covariance
+    /// — the parametric baseline. Yields `NaN` (not a panic) on steps
+    /// whose empirical covariance is singular — fewer ensemble runs than
+    /// joint dimensions, or degenerate coordinates (see
+    /// [`multi_information_gaussian`]).
+    Gaussian,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig::Ksg(KsgConfig::default())
+    }
+}
+
+impl MeasureConfig {
+    /// The same selection with the worker-thread count overridden where
+    /// the method has one (KSG, KDE; the other methods are sequential —
+    /// they run in microseconds at ensemble sizes).
+    pub fn with_threads(self, threads: usize) -> Self {
+        match self {
+            MeasureConfig::Ksg(cfg) => MeasureConfig::Ksg(KsgConfig { threads, ..cfg }),
+            MeasureConfig::Kde(cfg) => MeasureConfig::Kde(KdeConfig { threads, ..cfg }),
+            other => other,
+        }
+    }
+
+    /// The KSG parameters KSG-specific analyses (the Eq. 5 decomposition
+    /// series, pairwise matrices) should run with: the inner config when
+    /// this selection *is* KSG, the defaults otherwise.
+    pub fn ksg_config(&self) -> KsgConfig {
+        match self {
+            MeasureConfig::Ksg(cfg) => *cfg,
+            _ => KsgConfig::default(),
+        }
+    }
+
+    /// Short display label (figures, benches).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeasureConfig::Ksg(_) => "ksg",
+            MeasureConfig::Kde(_) => "kde",
+            MeasureConfig::Binned(_) => "binned",
+            MeasureConfig::DiscretePlugin { .. } => "discrete",
+            MeasureConfig::Gaussian => "gaussian",
+        }
+    }
+
+    /// The selection with derived variants resolved to their engine
+    /// family: `DiscretePlugin` becomes `Binned(discrete_plugin_config)`.
+    /// Both dispatch surfaces ([`MeasureWorkspace::estimator_mut`] and
+    /// [`MeasureWorkspace::multi_information`]) route through this, so
+    /// the derivation lives in exactly one place.
+    fn normalized(&self) -> MeasureConfig {
+        match self {
+            MeasureConfig::DiscretePlugin { bins } => {
+                MeasureConfig::Binned(discrete_plugin_config(*bins))
+            }
+            other => *other,
+        }
+    }
+}
+
+/// An owned copy of the last prepared view — what lets the two-phase
+/// trait avoid a lifetime parameter while staying allocation-free once
+/// warm.
+#[derive(Debug, Clone, Default)]
+struct PreparedView {
+    data: Vec<f64>,
+    sizes: Vec<usize>,
+    rows: usize,
+}
+
+impl PreparedView {
+    fn set(&mut self, view: &SampleView<'_>) {
+        self.data.clear();
+        self.data.extend_from_slice(view.data);
+        self.sizes.clear();
+        self.sizes.extend_from_slice(view.block_sizes);
+        self.rows = view.rows;
+    }
+
+    fn view(&self) -> SampleView<'_> {
+        assert!(self.rows > 0, "Estimator: estimate() before prepare()");
+        SampleView::new(&self.data, self.rows, &self.sizes)
+    }
+
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.data.capacity());
+        sig.push(self.sizes.capacity());
+    }
+}
+
+/// [`Estimator`] over the persistent KSG engine ([`InfoWorkspace`]).
+#[derive(Debug, Clone, Default)]
+pub struct KsgEstimator {
+    /// Estimator parameters (public: reconfigure between calls freely;
+    /// the scratch is shape-keyed, not config-keyed).
+    pub cfg: KsgConfig,
+    ws: InfoWorkspace,
+    input: PreparedView,
+}
+
+impl KsgEstimator {
+    /// An estimator with the given parameters and cold scratch.
+    pub fn new(cfg: KsgConfig) -> Self {
+        KsgEstimator {
+            cfg,
+            ..KsgEstimator::default()
+        }
+    }
+}
+
+impl Estimator for KsgEstimator {
+    fn prepare(&mut self, view: &SampleView<'_>) {
+        self.input.set(view);
+    }
+
+    fn estimate(&mut self) -> f64 {
+        self.ws.multi_information(&self.input.view(), &self.cfg)
+    }
+}
+
+/// [`Estimator`] over the persistent KDE engine ([`KdeWorkspace`]).
+#[derive(Debug, Clone, Default)]
+pub struct KdeEstimator {
+    /// Estimator parameters.
+    pub cfg: KdeConfig,
+    ws: KdeWorkspace,
+    input: PreparedView,
+}
+
+impl KdeEstimator {
+    /// An estimator with the given parameters and cold scratch.
+    pub fn new(cfg: KdeConfig) -> Self {
+        KdeEstimator {
+            cfg,
+            ..KdeEstimator::default()
+        }
+    }
+}
+
+impl Estimator for KdeEstimator {
+    fn prepare(&mut self, view: &SampleView<'_>) {
+        self.input.set(view);
+    }
+
+    fn estimate(&mut self) -> f64 {
+        self.ws.multi_information(&self.input.view(), &self.cfg)
+    }
+}
+
+/// [`Estimator`] over the persistent binning engine ([`BinnedWorkspace`]).
+#[derive(Debug, Clone, Default)]
+pub struct BinnedEstimator {
+    /// Estimator parameters.
+    pub cfg: BinningConfig,
+    ws: BinnedWorkspace,
+    input: PreparedView,
+}
+
+impl BinnedEstimator {
+    /// An estimator with the given parameters and cold scratch.
+    pub fn new(cfg: BinningConfig) -> Self {
+        BinnedEstimator {
+            cfg,
+            ..BinnedEstimator::default()
+        }
+    }
+}
+
+impl Estimator for BinnedEstimator {
+    fn prepare(&mut self, view: &SampleView<'_>) {
+        self.input.set(view);
+    }
+
+    fn estimate(&mut self) -> f64 {
+        self.ws.multi_information(&self.input.view(), &self.cfg)
+    }
+}
+
+/// [`Estimator`] over the closed-form Gaussian baseline
+/// ([`multi_information_gaussian`]).
+#[derive(Debug, Clone, Default)]
+pub struct GaussianEstimator {
+    input: PreparedView,
+}
+
+impl GaussianEstimator {
+    /// A fresh estimator (the Gaussian baseline has no parameters).
+    pub fn new() -> Self {
+        GaussianEstimator::default()
+    }
+}
+
+impl Estimator for GaussianEstimator {
+    fn prepare(&mut self, view: &SampleView<'_>) {
+        self.input.set(view);
+    }
+
+    fn estimate(&mut self) -> f64 {
+        multi_information_gaussian(&self.input.view())
+    }
+}
+
+/// The binning parameters [`MeasureConfig::DiscretePlugin`] maps to: the
+/// ML plug-in over observed bin tuples (no shrinkage), which equals the
+/// discrete multi-information of [`crate::discrete`] on the binned data.
+pub fn discrete_plugin_config(bins: usize) -> BinningConfig {
+    BinningConfig {
+        bins,
+        shrinkage: false,
+        marginal_support: SupportModel::Observed,
+        joint_support: SupportModel::Observed,
+    }
+}
+
+/// One persistent engine per estimator family, behind one polymorphic
+/// surface.
+///
+/// Long-running callers (the pipeline's evaluation workers, parameter
+/// sweeps, the `estimator_shootout` example) hold one workspace and
+/// drive any sequence of estimator selections through it:
+///
+/// ```
+/// use sops_info::measure::{MeasureConfig, MeasureWorkspace};
+/// use sops_info::gaussian::{equicorrelated_cov, sample_gaussian};
+/// use sops_info::SampleView;
+///
+/// let data = sample_gaussian(&equicorrelated_cov(2, 0.8), 500, 7);
+/// let view = SampleView::new(&data, 500, &[1, 1]);
+/// let mut ws = MeasureWorkspace::new();
+/// for cfg in [MeasureConfig::default(), MeasureConfig::Gaussian] {
+///     let est = ws.estimator_mut(&cfg);
+///     est.prepare(&view);
+///     assert!((est.estimate() - 0.74).abs() < 0.3);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MeasureWorkspace {
+    ksg: KsgEstimator,
+    kde: KdeEstimator,
+    binned: BinnedEstimator,
+    gaussian: GaussianEstimator,
+    cmi: CmiWorkspace,
+}
+
+impl MeasureWorkspace {
+    /// An empty workspace; every engine's buffers grow to the workload
+    /// size on first use and are reused afterwards.
+    pub fn new() -> Self {
+        MeasureWorkspace::default()
+    }
+
+    /// The engine `cfg` selects, with the engine's parameters set from
+    /// `cfg`, as a trait object — the pipeline's dispatch point.
+    pub fn estimator_mut(&mut self, cfg: &MeasureConfig) -> &mut dyn Estimator {
+        match cfg.normalized() {
+            MeasureConfig::Ksg(c) => {
+                self.ksg.cfg = c;
+                &mut self.ksg
+            }
+            MeasureConfig::Kde(c) => {
+                self.kde.cfg = c;
+                &mut self.kde
+            }
+            MeasureConfig::Binned(c) => {
+                self.binned.cfg = c;
+                &mut self.binned
+            }
+            MeasureConfig::DiscretePlugin { .. } => {
+                unreachable!("normalized() resolves DiscretePlugin to Binned")
+            }
+            MeasureConfig::Gaussian => &mut self.gaussian,
+        }
+    }
+
+    /// Multi-information (bits) of `view` under the selected estimator.
+    ///
+    /// Dispatches straight to the selected engine's borrowed-view entry
+    /// point, skipping the owned copy [`Estimator::prepare`] makes (the
+    /// price of the trait's lifetime-free two-phase API); results are
+    /// identical to the trait path.
+    pub fn multi_information(&mut self, view: &SampleView<'_>, cfg: &MeasureConfig) -> f64 {
+        match cfg.normalized() {
+            MeasureConfig::Ksg(c) => self.ksg.ws.multi_information(view, &c),
+            MeasureConfig::Kde(c) => self.kde.ws.multi_information(view, &c),
+            MeasureConfig::Binned(c) => self.binned.ws.multi_information(view, &c),
+            MeasureConfig::DiscretePlugin { .. } => {
+                unreachable!("normalized() resolves DiscretePlugin to Binned")
+            }
+            MeasureConfig::Gaussian => multi_information_gaussian(view),
+        }
+    }
+
+    /// Pairwise KSG mutual-information matrix — forwards to the owned
+    /// [`InfoWorkspace`], sharing its per-block indexes and scratch.
+    pub fn pairwise_mi_matrix(&mut self, view: &SampleView<'_>, cfg: &KsgConfig) -> PairMatrix {
+        self.ksg.ws.pairwise_mi_matrix(view, cfg)
+    }
+
+    /// The Eq. 5 decomposition under the KSG estimator — forwards to the
+    /// owned [`InfoWorkspace`].
+    pub fn decompose(
+        &mut self,
+        view: &SampleView<'_>,
+        grouping: &Grouping,
+        cfg: &KsgConfig,
+    ) -> Decomposition {
+        self.ksg.ws.decompose(view, grouping, cfg)
+    }
+
+    /// Frenzel–Pompe `I(X;Y|Z)` (bits) — forwards to the owned
+    /// [`CmiWorkspace`].
+    pub fn conditional_mutual_information(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        rows: usize,
+        dims: (usize, usize, usize),
+        cfg: &CmiConfig,
+    ) -> f64 {
+        self.cmi
+            .conditional_mutual_information(x, y, z, rows, dims, cfg)
+    }
+
+    /// Transfer entropy `T_{Y→X}` (bits) — forwards to the owned
+    /// [`CmiWorkspace`].
+    pub fn transfer_entropy(
+        &mut self,
+        x_next: &[f64],
+        y_past: &[f64],
+        x_past: &[f64],
+        rows: usize,
+        dims: (usize, usize, usize),
+        cfg: &CmiConfig,
+    ) -> f64 {
+        self.cmi
+            .transfer_entropy(x_next, y_past, x_past, rows, dims, cfg)
+    }
+
+    /// Capacities of every internal buffer of the allocation-free engines
+    /// (KSG, KDE, binning/discrete, CMI) — constant for a warmed-up
+    /// workspace driving a bounded workload, the contract enforced by
+    /// `crates/sops-info/tests/workspace_measure.rs`. The Gaussian
+    /// baseline's per-call `d × d` covariance is documented out of the
+    /// contract (module docs).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = self.ksg.ws.capacity_signature();
+        self.ksg.input.capacity_signature(&mut sig);
+        sig.extend(self.kde.ws.capacity_signature());
+        self.kde.input.capacity_signature(&mut sig);
+        sig.extend(self.binned.ws.capacity_signature());
+        self.binned.input.capacity_signature(&mut sig);
+        self.gaussian.input.capacity_signature(&mut sig);
+        sig.extend(self.cmi.capacity_signature());
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{bivariate_gaussian_mi, equicorrelated_cov, sample_gaussian};
+
+    #[test]
+    fn every_selection_tracks_gaussian_truth() {
+        let rho = 0.8;
+        let truth = bivariate_gaussian_mi(rho);
+        let data = sample_gaussian(&equicorrelated_cov(2, rho), 1200, 7);
+        let sizes = [1usize, 1];
+        let view = SampleView::new(&data, 1200, &sizes);
+        let mut ws = MeasureWorkspace::new();
+        let selections = [
+            MeasureConfig::Ksg(KsgConfig::default()),
+            MeasureConfig::Kde(KdeConfig::default()),
+            MeasureConfig::Binned(BinningConfig::default()),
+            MeasureConfig::DiscretePlugin { bins: 8 },
+            MeasureConfig::Gaussian,
+        ];
+        for cfg in selections {
+            let est = ws.multi_information(&view, &cfg);
+            assert!(
+                (est - truth).abs() < 0.4,
+                "{}: est {est} vs truth {truth}",
+                cfg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_direct_engines() {
+        let data = sample_gaussian(&equicorrelated_cov(3, 0.5), 400, 3);
+        let sizes = [1usize, 1, 1];
+        let view = SampleView::new(&data, 400, &sizes);
+        let mut ws = MeasureWorkspace::new();
+
+        let via_trait = ws.multi_information(&view, &MeasureConfig::default());
+        let direct = InfoWorkspace::new().multi_information(&view, &KsgConfig::default());
+        assert_eq!(via_trait.to_bits(), direct.to_bits());
+
+        let kde_cfg = KdeConfig::default();
+        let via_trait = ws.multi_information(&view, &MeasureConfig::Kde(kde_cfg));
+        let direct = KdeWorkspace::new().multi_information(&view, &kde_cfg);
+        assert_eq!(via_trait.to_bits(), direct.to_bits());
+
+        let bin_cfg = BinningConfig::default();
+        let via_trait = ws.multi_information(&view, &MeasureConfig::Binned(bin_cfg));
+        let direct = BinnedWorkspace::new().multi_information(&view, &bin_cfg);
+        assert_eq!(via_trait.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn estimate_is_repeatable_without_reprepare() {
+        let data = sample_gaussian(&equicorrelated_cov(2, 0.6), 300, 5);
+        let sizes = [1usize, 1];
+        let view = SampleView::new(&data, 300, &sizes);
+        let mut ws = MeasureWorkspace::new();
+        let est = ws.estimator_mut(&MeasureConfig::default());
+        est.prepare(&view);
+        let a = est.estimate();
+        let b = est.estimate();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn discrete_plugin_equals_shrinkage_free_binning() {
+        let data = sample_gaussian(&equicorrelated_cov(2, 0.7), 500, 9);
+        let sizes = [1usize, 1];
+        let view = SampleView::new(&data, 500, &sizes);
+        let mut ws = MeasureWorkspace::new();
+        let plugin = ws.multi_information(&view, &MeasureConfig::DiscretePlugin { bins: 6 });
+        let binned = ws.multi_information(&view, &MeasureConfig::Binned(discrete_plugin_config(6)));
+        assert_eq!(plugin.to_bits(), binned.to_bits());
+    }
+
+    #[test]
+    fn with_threads_overrides_parallel_methods_only() {
+        let cfg = MeasureConfig::Ksg(KsgConfig::default()).with_threads(3);
+        assert!(matches!(
+            cfg,
+            MeasureConfig::Ksg(KsgConfig { threads: 3, .. })
+        ));
+        let cfg = MeasureConfig::Kde(KdeConfig::default()).with_threads(2);
+        assert!(matches!(
+            cfg,
+            MeasureConfig::Kde(KdeConfig { threads: 2, .. })
+        ));
+        assert!(matches!(
+            MeasureConfig::Gaussian.with_threads(5),
+            MeasureConfig::Gaussian
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "before prepare")]
+    fn estimate_before_prepare_panics() {
+        KsgEstimator::new(KsgConfig::default()).estimate();
+    }
+}

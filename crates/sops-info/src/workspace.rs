@@ -65,7 +65,7 @@ const MAX_TREE_JOINT_DIM: usize = 16;
 /// Minimum sample count for the tree path to amortize its build.
 const MIN_TREE_ROWS: usize = 64;
 
-fn resolve_threads(threads: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         sops_par::default_threads()
     } else {
@@ -77,7 +77,7 @@ fn resolve_threads(threads: usize) -> usize {
 /// beyond it always take the scan, even under [`KnnMode::KdTree`].
 const KDTREE_MAX_DIM: usize = 255;
 
-fn use_tree(mode: KnnMode, joint_dim: usize, rows: usize) -> bool {
+pub(crate) fn use_tree(mode: KnnMode, joint_dim: usize, rows: usize) -> bool {
     match mode {
         KnnMode::BruteForce => false,
         KnnMode::KdTree => joint_dim <= KDTREE_MAX_DIM,

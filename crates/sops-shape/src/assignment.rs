@@ -11,6 +11,41 @@
 //! Implementation: Jonker–Volgenant-style shortest augmenting paths with
 //! row/column potentials (the standard `O(n³)` formulation).
 
+/// Reusable buffers for [`hungarian_with`]: the potentials, matching and
+/// path arrays the solver needs, grown on demand and reused across calls.
+///
+/// The historical entry point allocated six vectors per call — two of
+/// them (`minv`, `used`) *per augmenting row*, i.e. `O(n)` allocations
+/// per solve. The shape-reduction loop solves one assignment per sample
+/// per evaluated time step, so the eval workers hold this scratch in
+/// their [`crate::ensemble::ReduceWorkspace`].
+#[derive(Debug, Clone, Default)]
+pub struct HungarianScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+impl HungarianScratch {
+    /// Empty scratch; buffers grow to the problem size on first use.
+    pub fn new() -> Self {
+        HungarianScratch::default()
+    }
+
+    /// Capacities of the internal buffers (zero-allocation contract).
+    pub fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.u.capacity());
+        sig.push(self.v.capacity());
+        sig.push(self.p.capacity());
+        sig.push(self.way.capacity());
+        sig.push(self.minv.capacity());
+        sig.push(self.used.capacity());
+    }
+}
+
 /// Solves the square assignment problem for the given row-major `n × n`
 /// cost matrix.
 ///
@@ -25,10 +60,29 @@
 /// assert_eq!(cost, 3.0);
 /// ```
 ///
+/// Convenience shim over [`hungarian_with`]; repeated callers should hold
+/// a [`HungarianScratch`].
+///
 /// # Panics
 ///
 /// Panics if `costs.len() != n * n`, if `n == 0`, or if any cost is NaN.
 pub fn hungarian(n: usize, costs: &[f64]) -> (Vec<usize>, f64) {
+    let mut scratch = HungarianScratch::new();
+    let mut assignment = Vec::new();
+    let cost = hungarian_with(&mut scratch, n, costs, &mut assignment);
+    (assignment, cost)
+}
+
+/// [`hungarian`] with caller-provided scratch and output buffer — the
+/// allocation-free form. `assignment` is cleared and filled with
+/// `assignment[row] = col`; the total cost is returned. Results are
+/// identical to [`hungarian`].
+pub fn hungarian_with(
+    scratch: &mut HungarianScratch,
+    n: usize,
+    costs: &[f64],
+    assignment: &mut Vec<usize>,
+) -> f64 {
     assert!(n > 0, "hungarian: empty problem");
     assert_eq!(costs.len(), n * n, "hungarian: cost matrix shape");
     assert!(
@@ -37,18 +91,26 @@ pub fn hungarian(n: usize, costs: &[f64]) -> (Vec<usize>, f64) {
     );
 
     // Potentials u (rows, 1-based) and v (columns, 0 = virtual start).
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; n + 1];
+    let HungarianScratch {
+        u,
+        v,
+        p,
+        way,
+        minv,
+        used,
+    } = scratch;
+    reset(u, n + 1, 0.0);
+    reset(v, n + 1, 0.0);
     // p[j] = row matched to column j (0 = unmatched), 1-based rows.
-    let mut p = vec![0usize; n + 1];
+    reset(p, n + 1, 0usize);
     // way[j] = previous column on the augmenting path.
-    let mut way = vec![0usize; n + 1];
+    reset(way, n + 1, 0usize);
 
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![f64::INFINITY; n + 1];
-        let mut used = vec![false; n + 1];
+        reset(minv, n + 1, f64::INFINITY);
+        reset(used, n + 1, false);
         loop {
             used[j0] = true;
             let i0 = p[j0];
@@ -93,18 +155,24 @@ pub fn hungarian(n: usize, costs: &[f64]) -> (Vec<usize>, f64) {
         }
     }
 
-    let mut assignment = vec![usize::MAX; n];
+    reset(assignment, n, usize::MAX);
     for j in 1..=n {
         if p[j] > 0 {
             assignment[p[j] - 1] = j - 1;
         }
     }
-    let total = assignment
+    assignment
         .iter()
         .enumerate()
         .map(|(r, &c)| costs[r * n + c])
-        .sum();
-    (assignment, total)
+        .sum()
+}
+
+/// Clears and refills a scratch vector with `len` copies of `value` —
+/// allocation-free once the capacity has grown to the workload size.
+fn reset<T: Clone>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
 }
 
 /// Brute-force optimal assignment by permutation enumeration — test
@@ -191,6 +259,21 @@ mod tests {
         let (a, c) = hungarian(2, &costs);
         assert_eq!(a, vec![0, 1]);
         assert_eq!(c, -10.0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_solver() {
+        let mut rng = sops_math::SplitMix64::new(77);
+        let mut scratch = HungarianScratch::new();
+        let mut assignment = Vec::new();
+        // Mixed problem sizes through one scratch: identical to fresh.
+        for n in [5usize, 12, 3, 9, 12] {
+            let costs: Vec<f64> = (0..n * n).map(|_| rng.next_range(-5.0, 5.0)).collect();
+            let cost = hungarian_with(&mut scratch, n, &costs, &mut assignment);
+            let (fresh_assignment, fresh_cost) = hungarian(n, &costs);
+            assert_eq!(assignment, fresh_assignment, "n={n}");
+            assert_eq!(cost.to_bits(), fresh_cost.to_bits(), "n={n}");
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! established here links particles *across samples* at a fixed time; the
 //! paper notes the particle identity *over time* is deliberately lost.
 
-use crate::icp::{icp_align, IcpConfig};
-use crate::permutation::{apply_matching, match_types};
+use crate::icp::{icp_align_with, IcpConfig, IcpScratch};
+use crate::permutation::{apply_matching, match_types_into, MatchScratch};
 use sops_math::Vec2;
 
 /// Configuration for [`reduce_configurations`].
@@ -34,17 +34,84 @@ pub struct ReducedSet {
     pub icp_costs: Vec<f64>,
 }
 
+/// Per-worker scratch of the reduction loop: ICP buffers and index,
+/// Hungarian matching buffers, and the moving-configuration staging
+/// vectors. Each worker reuses its scratch across every sample it claims.
+#[derive(Debug, Clone, Default)]
+struct ReduceScratch {
+    icp: IcpScratch,
+    matching: MatchScratch,
+    moving: Vec<Vec2>,
+    perm: Vec<usize>,
+}
+
+impl ReduceScratch {
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        self.icp.capacity_signature(sig);
+        self.matching.capacity_signature(sig);
+        sig.push(self.moving.capacity());
+        sig.push(self.perm.capacity());
+    }
+}
+
+/// Persistent buffers for [`reduce_configurations_with`]: one
+/// [`ReduceScratch`] per reduction worker plus the shared centred
+/// reference. The pipeline's evaluation workers hold one workspace each,
+/// so the per-sample ICP/Hungarian scratch is reused across every time
+/// step a worker claims — the shape-space sibling of
+/// `sops_info::MeasureWorkspace`.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceWorkspace {
+    workers: Vec<ReduceScratch>,
+    reference: Vec<Vec2>,
+}
+
+impl ReduceWorkspace {
+    /// An empty workspace; buffers grow to the workload size on first use.
+    pub fn new() -> Self {
+        ReduceWorkspace::default()
+    }
+
+    /// Capacities of every internal buffer — constant for a warmed-up
+    /// workspace driving a bounded workload (the zero-allocation
+    /// contract; the per-sample *output* configurations are the return
+    /// value and excluded, like every workspace in this repo).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![self.workers.len(), self.reference.capacity()];
+        for worker in &self.workers {
+            worker.capacity_signature(&mut sig);
+        }
+        sig
+    }
+}
+
 /// Reduces every sample in `samples` (one configuration per ensemble run,
 /// all at the same time step) to the canonical shape frame.
 ///
 /// Steps per sample: centre on centroid → ICP-align to the centred
 /// reference sample → optimal same-type re-indexing to reference order.
 ///
+/// Convenience shim over [`reduce_configurations_with`]; repeated callers
+/// (the pipeline's evaluation loop) should hold a [`ReduceWorkspace`].
+///
 /// # Panics
 ///
 /// Panics if `samples` is empty, sizes are inconsistent, or
 /// `cfg.reference` is out of range.
 pub fn reduce_configurations(samples: &[&[Vec2]], types: &[u16], cfg: &ReduceConfig) -> ReducedSet {
+    reduce_configurations_with(&mut ReduceWorkspace::new(), samples, types, cfg)
+}
+
+/// [`reduce_configurations`] with persistent per-worker scratch — the
+/// form the pipeline's evaluation workers drive. Results are identical
+/// to [`reduce_configurations`] for any worker count (outputs are written
+/// into per-sample slots; the scratch only caches buffer capacity).
+pub fn reduce_configurations_with(
+    ws: &mut ReduceWorkspace,
+    samples: &[&[Vec2]],
+    types: &[u16],
+    cfg: &ReduceConfig,
+) -> ReducedSet {
     assert!(!samples.is_empty(), "reduce_configurations: no samples");
     assert!(
         cfg.reference < samples.len(),
@@ -57,25 +124,40 @@ pub fn reduce_configurations(samples: &[&[Vec2]], types: &[u16], cfg: &ReduceCon
     );
 
     // Centred reference.
-    let mut reference: Vec<Vec2> = samples[cfg.reference].to_vec();
-    crate::center(&mut reference);
+    ws.reference.clear();
+    ws.reference.extend_from_slice(samples[cfg.reference]);
+    crate::center(&mut ws.reference);
 
     let threads = if cfg.threads == 0 {
         sops_par::default_threads()
     } else {
         cfg.threads
     };
-    let reduced: Vec<(Vec<Vec2>, f64)> = sops_par::parallel_map(samples.len(), threads, |s| {
-        if s == cfg.reference {
-            return (reference.clone(), 0.0);
-        }
-        let mut moving: Vec<Vec2> = samples[s].to_vec();
-        crate::center(&mut moving);
-        let res = icp_align(&reference, &moving, types, &cfg.icp);
-        res.transform.apply_all(&mut moving);
-        let perm = match_types(&reference, &moving, types);
-        (apply_matching(&perm, &moving), res.cost)
-    });
+    let threads = threads.max(1).min(samples.len());
+    while ws.workers.len() < threads {
+        ws.workers.push(ReduceScratch::default());
+    }
+    let ReduceWorkspace { workers, reference } = ws;
+    let reference = &*reference;
+    let reduced: Vec<(Vec<Vec2>, f64)> =
+        sops_par::parallel_map_with(samples.len(), &mut workers[..threads], |scratch, s| {
+            if s == cfg.reference {
+                return (reference.clone(), 0.0);
+            }
+            let ReduceScratch {
+                icp,
+                matching,
+                moving,
+                perm,
+            } = scratch;
+            moving.clear();
+            moving.extend_from_slice(samples[s]);
+            crate::center(moving);
+            let res = icp_align_with(icp, reference, moving, types, &cfg.icp);
+            res.transform.apply_all(moving);
+            match_types_into(matching, reference, moving, types, perm);
+            (apply_matching(perm, moving), res.cost)
+        });
 
     let mut configs = Vec::with_capacity(reduced.len());
     let mut icp_costs = Vec::with_capacity(reduced.len());

@@ -52,22 +52,33 @@ pub struct IcpResult {
 }
 
 /// Per-type view of a configuration: kd-trees over the reference points of
-/// each type plus the type-local → global index maps.
+/// each type plus the type-local → global index maps. Rebuilt in place —
+/// trees, coordinate gathers and index maps all keep their buffers.
+#[derive(Debug, Clone, Default)]
 struct TypedIndex {
     trees: Vec<KdTree>,
     globals: Vec<Vec<u32>>,
+    coords: Vec<Vec<f64>>,
 }
 
 impl TypedIndex {
-    fn build(points: &[Vec2], types: &[u16], type_count: usize) -> Self {
-        let mut coords: Vec<Vec<f64>> = vec![Vec::new(); type_count];
-        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); type_count];
-        for (i, (&p, &t)) in points.iter().zip(types).enumerate() {
-            coords[t as usize].extend_from_slice(&[p.x, p.y]);
-            globals[t as usize].push(i as u32);
+    fn rebuild(&mut self, points: &[Vec2], types: &[u16], type_count: usize) {
+        while self.trees.len() < type_count {
+            self.trees.push(KdTree::build(2, &[]));
+            self.globals.push(Vec::new());
+            self.coords.push(Vec::new());
         }
-        let trees = coords.iter().map(|c| KdTree::build(2, c)).collect();
-        TypedIndex { trees, globals }
+        for t in 0..type_count {
+            self.coords[t].clear();
+            self.globals[t].clear();
+        }
+        for (i, (&p, &t)) in points.iter().zip(types).enumerate() {
+            self.coords[t as usize].extend_from_slice(&[p.x, p.y]);
+            self.globals[t as usize].push(i as u32);
+        }
+        for t in 0..type_count {
+            self.trees[t].rebuild(2, &self.coords[t]);
+        }
     }
 
     /// Global index of the same-type nearest reference point.
@@ -77,16 +88,69 @@ impl TypedIndex {
             .expect("TypedIndex: type has no reference points");
         self.globals[t][local] as usize
     }
+
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.trees.len());
+        for t in 0..self.trees.len() {
+            sig.extend(self.trees[t].capacity_signature());
+            sig.push(self.globals[t].capacity());
+            sig.push(self.coords[t].capacity());
+        }
+    }
+}
+
+/// Reusable buffers for [`icp_align_with`]: the centred point sets, the
+/// correspondence targets, and the per-type reference index (kd-trees
+/// rebuilt in place). One alignment runs `restarts × iterations`
+/// correspondence searches over the same index — and the reduction loop
+/// runs one alignment per sample per evaluated time step, so the eval
+/// workers hold this scratch in a [`crate::ensemble::ReduceWorkspace`].
+#[derive(Debug, Clone, Default)]
+pub struct IcpScratch {
+    ref_c: Vec<Vec2>,
+    mov_c: Vec<Vec2>,
+    targets: Vec<Vec2>,
+    index: TypedIndex,
+}
+
+impl IcpScratch {
+    /// Empty scratch; buffers grow to the workload size on first use.
+    pub fn new() -> Self {
+        IcpScratch::default()
+    }
+
+    /// Capacities of the internal buffers (zero-allocation contract).
+    pub fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.ref_c.capacity());
+        sig.push(self.mov_c.capacity());
+        sig.push(self.targets.capacity());
+        self.index.capacity_signature(sig);
+    }
 }
 
 /// Aligns `moving` onto `reference`; `types[i]` is particle `i`'s type in
 /// *both* configurations (they are states of the same system).
+///
+/// Convenience shim over [`icp_align_with`]; repeated callers (the
+/// ensemble reduction) should hold an [`IcpScratch`].
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length, are empty, or a type id has no
 /// particles in the reference.
 pub fn icp_align(reference: &[Vec2], moving: &[Vec2], types: &[u16], cfg: &IcpConfig) -> IcpResult {
+    icp_align_with(&mut IcpScratch::new(), reference, moving, types, cfg)
+}
+
+/// [`icp_align`] with caller-provided scratch — the allocation-free form.
+/// Results are identical to [`icp_align`].
+pub fn icp_align_with(
+    scratch: &mut IcpScratch,
+    reference: &[Vec2],
+    moving: &[Vec2],
+    types: &[u16],
+    cfg: &IcpConfig,
+) -> IcpResult {
     assert_eq!(reference.len(), moving.len(), "icp_align: size mismatch");
     assert_eq!(reference.len(), types.len(), "icp_align: types mismatch");
     assert!(!reference.is_empty(), "icp_align: empty configurations");
@@ -97,12 +161,21 @@ pub fn icp_align(reference: &[Vec2], moving: &[Vec2], types: &[u16], cfg: &IcpCo
     // into the final transform.
     let ref_centroid = Vec2::centroid(reference);
     let mov_centroid = Vec2::centroid(moving);
-    let ref_c: Vec<Vec2> = reference.iter().map(|&p| p - ref_centroid).collect();
-    let mov_c: Vec<Vec2> = moving.iter().map(|&p| p - mov_centroid).collect();
-    let index = TypedIndex::build(&ref_c, types, type_count);
+    let IcpScratch {
+        ref_c,
+        mov_c,
+        targets,
+        index,
+    } = scratch;
+    ref_c.clear();
+    ref_c.extend(reference.iter().map(|&p| p - ref_centroid));
+    mov_c.clear();
+    mov_c.extend(moving.iter().map(|&p| p - mov_centroid));
+    index.rebuild(ref_c, types, type_count);
 
     let mut best: Option<IcpResult> = None;
-    let mut targets = vec![Vec2::ZERO; mov_c.len()];
+    targets.clear();
+    targets.resize(mov_c.len(), Vec2::ZERO);
     for restart in 0..cfg.restarts {
         let angle = std::f64::consts::TAU * restart as f64 / cfg.restarts as f64;
         let mut t = RigidTransform::rotation(angle);

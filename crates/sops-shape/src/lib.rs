@@ -25,12 +25,14 @@ pub mod icp;
 pub mod kabsch;
 pub mod permutation;
 
-pub use assignment::hungarian;
+pub use assignment::{hungarian, hungarian_with, HungarianScratch};
 pub use distance::{cluster_shapes, shape_distance};
-pub use ensemble::{reduce_configurations, ReduceConfig};
-pub use icp::{icp_align, IcpConfig, IcpResult};
+pub use ensemble::{
+    reduce_configurations, reduce_configurations_with, ReduceConfig, ReduceWorkspace,
+};
+pub use icp::{icp_align, icp_align_with, IcpConfig, IcpResult, IcpScratch};
 pub use kabsch::{fit_rigid, RigidTransform};
-pub use permutation::match_types;
+pub use permutation::{match_types, match_types_into, MatchScratch};
 
 use sops_math::Vec2;
 

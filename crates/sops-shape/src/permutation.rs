@@ -7,8 +7,45 @@
 //! per type with the Hungarian algorithm (see [`crate::assignment`] for
 //! why greedy nearest-neighbour is not enough).
 
-use crate::assignment::hungarian;
+use crate::assignment::{hungarian_with, HungarianScratch};
 use sops_math::Vec2;
+
+/// Reusable buffers for [`match_types_into`]: per-type index groups, the
+/// per-type cost matrix and assignment, and the Hungarian solver's own
+/// scratch. The shape-reduction workers hold one per worker
+/// ([`crate::ensemble::ReduceWorkspace`]) so the permutation step stops
+/// allocating per sample.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Global indices grouped by type (outer vec never shrinks).
+    by_type: Vec<Vec<usize>>,
+    /// Cost matrix of the type currently being matched.
+    costs: Vec<f64>,
+    /// Assignment output of the Hungarian solver.
+    assignment: Vec<usize>,
+    /// The solver's internal buffers.
+    hungarian: HungarianScratch,
+}
+
+impl MatchScratch {
+    /// Empty scratch; buffers grow to the workload size on first use.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// Capacities of the internal buffers (zero-allocation contract).
+    /// The signature length itself is part of the contract: a growing
+    /// `by_type` shows up as a longer vector.
+    pub fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.by_type.len());
+        for group in &self.by_type {
+            sig.push(group.capacity());
+        }
+        sig.push(self.costs.capacity());
+        sig.push(self.assignment.capacity());
+        self.hungarian.capacity_signature(sig);
+    }
+}
 
 /// Computes the type-preserving bijection between `reference` and
 /// `moving` minimizing the total squared correspondence distance.
@@ -16,23 +53,59 @@ use sops_math::Vec2;
 /// Returns `perm` with `perm[ref_index] = moving_index`: the moving
 /// particle that plays the role of reference particle `ref_index`.
 ///
+/// Convenience shim over [`match_types_into`]; repeated callers should
+/// hold a [`MatchScratch`] and an output buffer.
+///
 /// # Panics
 ///
 /// Panics if lengths mismatch.
 pub fn match_types(reference: &[Vec2], moving: &[Vec2], types: &[u16]) -> Vec<usize> {
+    let mut perm = Vec::new();
+    match_types_into(
+        &mut MatchScratch::new(),
+        reference,
+        moving,
+        types,
+        &mut perm,
+    );
+    perm
+}
+
+/// [`match_types`] with caller-provided scratch and output buffer — the
+/// allocation-free form. `perm` is cleared and refilled; results are
+/// identical to [`match_types`].
+pub fn match_types_into(
+    scratch: &mut MatchScratch,
+    reference: &[Vec2],
+    moving: &[Vec2],
+    types: &[u16],
+    perm: &mut Vec<usize>,
+) {
     assert_eq!(reference.len(), moving.len(), "match_types: size mismatch");
     assert_eq!(reference.len(), types.len(), "match_types: types mismatch");
     let n = reference.len();
     let type_count = types.iter().map(|&t| t as usize + 1).max().unwrap_or(0);
 
-    // Group global indices by type (identical layout in both sets).
-    let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); type_count];
+    // Group global indices by type (identical layout in both sets). The
+    // outer vec only grows, so per-type capacities persist across calls.
+    while scratch.by_type.len() < type_count {
+        scratch.by_type.push(Vec::new());
+    }
+    for group in &mut scratch.by_type {
+        group.clear();
+    }
     for (i, &t) in types.iter().enumerate() {
-        by_type[t as usize].push(i);
+        scratch.by_type[t as usize].push(i);
     }
 
-    let mut perm = vec![usize::MAX; n];
-    let mut costs: Vec<f64> = Vec::new();
+    perm.clear();
+    perm.resize(n, usize::MAX);
+    let MatchScratch {
+        by_type,
+        costs,
+        assignment,
+        hungarian,
+    } = scratch;
     for members in by_type.iter().filter(|m| !m.is_empty()) {
         let k = members.len();
         if k == 1 {
@@ -47,13 +120,12 @@ pub fn match_types(reference: &[Vec2], moving: &[Vec2], types: &[u16]) -> Vec<us
                 costs.push(reference[ri].dist_sq(moving[mi]));
             }
         }
-        let (assignment, _) = hungarian(k, &costs);
+        hungarian_with(hungarian, k, costs, assignment);
         for (ref_local, &mov_local) in assignment.iter().enumerate() {
             perm[members[ref_local]] = members[mov_local];
         }
     }
     debug_assert!(perm.iter().all(|&p| p != usize::MAX));
-    perm
 }
 
 /// Applies a matching: `out[i] = moving[perm[i]]`, i.e. re-indexes the

@@ -1,0 +1,141 @@
+//! Contracts of the persistent shape-reduction scratch:
+//!
+//! * `icp_align_with`, `match_types_into` and `reduce_configurations_with`
+//!   are bit-identical to their scratch-free shims for any worker count;
+//! * a warmed-up `ReduceWorkspace` performs zero heap allocations across
+//!   100 reduction calls (buffer-capacity stability, à la
+//!   `crates/sops-info/tests/workspace_measure.rs`).
+
+use sops_math::{SplitMix64, Vec2};
+use sops_shape::ensemble::flatten_reduced;
+use sops_shape::{
+    icp_align, icp_align_with, match_types, match_types_into, reduce_configurations,
+    reduce_configurations_with, IcpConfig, IcpScratch, MatchScratch, ReduceConfig, ReduceWorkspace,
+    RigidTransform,
+};
+
+/// A deterministic ensemble slice: `samples` rigid+noisy copies of one
+/// asymmetric multi-type shape.
+fn slice(n: usize, samples: usize, seed: u64) -> (Vec<Vec<Vec2>>, Vec<u16>) {
+    let mut rng = SplitMix64::new(seed);
+    let base: Vec<Vec2> = (0..n)
+        .map(|_| Vec2::new(rng.next_range(-4.0, 4.0), rng.next_range(-4.0, 4.0)))
+        .collect();
+    let types: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+    let slices = (0..samples)
+        .map(|_| {
+            let t = RigidTransform {
+                rotation: rng.next_range(-3.0, 3.0),
+                translation: Vec2::new(rng.next_range(-8.0, 8.0), rng.next_range(-8.0, 8.0)),
+            };
+            base.iter()
+                .map(|&p| {
+                    t.apply(p) + Vec2::new(rng.next_range(-0.05, 0.05), rng.next_range(-0.05, 0.05))
+                })
+                .collect()
+        })
+        .collect();
+    (slices, types)
+}
+
+#[test]
+fn icp_scratch_bit_identical_to_shim_across_reuse() {
+    let mut scratch = IcpScratch::new();
+    for seed in 0..5u64 {
+        let (samples, types) = slice(12, 2, seed);
+        let reference = &samples[0];
+        let moving = &samples[1];
+        let with = icp_align_with(
+            &mut scratch,
+            reference,
+            moving,
+            &types,
+            &IcpConfig::default(),
+        );
+        let shim = icp_align(reference, moving, &types, &IcpConfig::default());
+        assert_eq!(with.cost.to_bits(), shim.cost.to_bits(), "seed {seed}");
+        assert_eq!(
+            with.transform.rotation.to_bits(),
+            shim.transform.rotation.to_bits()
+        );
+        assert_eq!(
+            with.transform.translation.x.to_bits(),
+            shim.transform.translation.x.to_bits()
+        );
+        assert_eq!(with.iterations, shim.iterations);
+    }
+}
+
+#[test]
+fn match_scratch_bit_identical_to_shim_across_reuse() {
+    let mut scratch = MatchScratch::new();
+    let mut perm = Vec::new();
+    for (n, seed) in [(8usize, 1u64), (20, 2), (5, 3), (20, 4)] {
+        let (samples, types) = slice(n, 2, seed);
+        match_types_into(&mut scratch, &samples[0], &samples[1], &types, &mut perm);
+        let shim = match_types(&samples[0], &samples[1], &types);
+        assert_eq!(perm, shim, "n={n} seed={seed}");
+    }
+}
+
+#[test]
+fn reduce_with_workspace_bit_identical_for_any_worker_count() {
+    let (samples, types) = slice(10, 12, 9);
+    let views: Vec<&[Vec2]> = samples.iter().map(|s| s.as_slice()).collect();
+    let shim = reduce_configurations(&views, &types, &ReduceConfig::default());
+    for threads in [1usize, 4, 8] {
+        let mut ws = ReduceWorkspace::new();
+        let cfg = ReduceConfig {
+            threads,
+            ..ReduceConfig::default()
+        };
+        let got = reduce_configurations_with(&mut ws, &views, &types, &cfg);
+        assert_eq!(got.configs, shim.configs, "threads={threads}");
+        for (a, b) in got.icp_costs.iter().zip(&shim.icp_costs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Flattened layout is what the estimators consume.
+        assert_eq!(flatten_reduced(&got), flatten_reduced(&shim));
+    }
+}
+
+#[test]
+fn warmed_up_reduce_workspace_is_allocation_free_over_100_calls() {
+    let mut ws = ReduceWorkspace::new();
+    let cfg = ReduceConfig {
+        threads: 1,
+        ..ReduceConfig::default()
+    };
+    let (warm, types) = slice(9, 20, 77);
+    let views: Vec<&[Vec2]> = warm.iter().map(|s| s.as_slice()).collect();
+    for _ in 0..3 {
+        reduce_configurations_with(&mut ws, &views, &types, &cfg);
+    }
+    let sig = ws.capacity_signature();
+    for call in 0..100u64 {
+        // Fresh data every call (capacities depend on shape, not values).
+        let (samples, types) = slice(9, 20, 1000 + call);
+        let views: Vec<&[Vec2]> = samples.iter().map(|s| s.as_slice()).collect();
+        reduce_configurations_with(&mut ws, &views, &types, &cfg);
+        assert_eq!(
+            ws.capacity_signature(),
+            sig,
+            "reduce workspace allocated at call {call}"
+        );
+    }
+}
+
+#[test]
+fn reduce_workspace_survives_shape_changes_between_calls() {
+    let mut ws = ReduceWorkspace::new();
+    for (round, (n, samples)) in [(6usize, 10usize), (15, 4), (3, 25), (15, 10)]
+        .into_iter()
+        .enumerate()
+    {
+        let (slices, types) = slice(n, samples, round as u64);
+        let views: Vec<&[Vec2]> = slices.iter().map(|s| s.as_slice()).collect();
+        let reused = reduce_configurations_with(&mut ws, &views, &types, &ReduceConfig::default());
+        let fresh = reduce_configurations(&views, &types, &ReduceConfig::default());
+        assert_eq!(reused.configs, fresh.configs, "round {round}");
+    }
+}

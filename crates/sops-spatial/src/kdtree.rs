@@ -353,33 +353,57 @@ impl KdTree {
     /// Indices of all points within `radius` of `query` (inclusive), in
     /// ascending index order.
     pub fn range_indices(&self, query: &[f64], radius: f64) -> Vec<usize> {
-        assert_eq!(query.len(), self.dim);
         let mut out = Vec::new();
-        if self.is_empty() || radius < 0.0 {
-            return out;
-        }
-        let r2 = radius * radius;
-        self.range_rec(0, query, radius, r2, &mut out);
-        out.sort_unstable();
+        self.range_indices_into(query, radius, &mut out);
         out
     }
 
-    fn range_rec(&self, node: u32, query: &[f64], radius: f64, r2: f64, out: &mut Vec<usize>) {
+    /// [`KdTree::range_indices`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free form persistent engines use.
+    pub fn range_indices_into(&self, query: &[f64], radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        self.for_each_within(query, radius, |i| out.push(i));
+        out.sort_unstable();
+    }
+
+    /// Visits every point within `radius` of `query` (inclusive), in
+    /// *tree* order — no result buffer and no sort, the form for range
+    /// consumers whose statistic is order-independent (e.g. the
+    /// conjunctive counts of the Frenzel–Pompe estimator). The visited
+    /// set is exactly that of [`KdTree::range_indices`], which is a
+    /// collect-and-sort wrapper over this visit.
+    pub fn for_each_within(&self, query: &[f64], radius: f64, mut f: impl FnMut(usize)) {
+        assert_eq!(query.len(), self.dim);
+        if self.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        self.for_each_rec(0, query, radius, r2, &mut f);
+    }
+
+    fn for_each_rec(
+        &self,
+        node: u32,
+        query: &[f64],
+        radius: f64,
+        r2: f64,
+        f: &mut impl FnMut(usize),
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
                 for &i in &self.order[*start as usize..*end as usize] {
                     if dist_sq(self.point(i as usize), query) <= r2 {
-                        out.push(i as usize);
+                        f(i as usize);
                     }
                 }
             }
             Node::Split { axis, value, right } => {
                 let delta = query[*axis as usize] - value;
                 if delta - radius <= 0.0 {
-                    self.range_rec(node + 1, query, radius, r2, out);
+                    self.for_each_rec(node + 1, query, radius, r2, f);
                 }
                 if delta + radius >= 0.0 {
-                    self.range_rec(*right, query, radius, r2, out);
+                    self.for_each_rec(*right, query, radius, r2, f);
                 }
             }
         }

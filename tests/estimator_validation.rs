@@ -2,15 +2,13 @@
 //! Gaussian ground truth, including the cross-estimator comparisons the
 //! paper reports in §5.3.
 
-use sops::info::binning::{multi_information_binned, BinningConfig};
 use sops::info::decomposition::{decompose, Grouping};
 use sops::info::entropy::entropy_breakdown;
 use sops::info::gaussian::{
     equicorrelated_cov, gaussian_entropy, gaussian_multi_information, sample_gaussian,
 };
-use sops::info::kde::multi_information_kde;
-use sops::info::kde::KdeConfig;
-use sops::info::{multi_information, KsgConfig, KsgVariant, SampleView};
+use sops::info::measure::{MeasureConfig, MeasureWorkspace};
+use sops::info::{multi_information, BinningConfig, KdeConfig, KsgConfig, KsgVariant, SampleView};
 use sops::math::Matrix;
 
 #[test]
@@ -114,22 +112,29 @@ fn entropy_route_consistent_with_direct_multi_information() {
 #[test]
 fn paper_533_comparison_ksg_beats_baselines_in_high_dimension() {
     // §5.3: KSG shows less variance than KDE and binning overestimates in
-    // high-d. Measure estimator spread over independent draws at d = 8.
+    // high-d. Measure estimator spread over independent draws at d = 8,
+    // all three families driven through one `MeasureWorkspace` — the
+    // pipeline's own dispatch surface.
     let d = 8;
     let m = 400;
     let cov = equicorrelated_cov(d, 0.3);
     let truth = gaussian_multi_information(&cov, &vec![1; d]);
     let sizes = vec![1usize; d];
 
+    let mut ws = MeasureWorkspace::new();
     let mut ksg_errs = Vec::new();
     let mut kde_errs = Vec::new();
     let mut bin_errs = Vec::new();
     for seed in 0..4u64 {
         let data = sample_gaussian(&cov, m, 100 + seed);
         let view = SampleView::new(&data, m, &sizes);
-        ksg_errs.push(multi_information(&view, &KsgConfig::default()) - truth);
-        kde_errs.push(multi_information_kde(&view, &KdeConfig::default()) - truth);
-        bin_errs.push(multi_information_binned(&view, &BinningConfig::default()) - truth);
+        ksg_errs
+            .push(ws.multi_information(&view, &MeasureConfig::Ksg(KsgConfig::default())) - truth);
+        kde_errs
+            .push(ws.multi_information(&view, &MeasureConfig::Kde(KdeConfig::default())) - truth);
+        bin_errs.push(
+            ws.multi_information(&view, &MeasureConfig::Binned(BinningConfig::default())) - truth,
+        );
     }
     let mean_abs = |v: &[f64]| v.iter().map(|e| e.abs()).sum::<f64>() / v.len() as f64;
     assert!(
