@@ -1,14 +1,19 @@
 //! Estimator benches: the §5.3 comparison (KSG vs KDE vs shrinkage
-//! binning) as runtime measurements, KSG ablations, and the
+//! binning) as runtime measurements, KSG ablations, the
 //! `estimator_matrix` group tracking the workspace-backed `Estimator`
-//! engines (KDE / binning / CMI) against their one-shot forms.
+//! engines (KDE / binning / CMI) against their one-shot forms, and the
+//! `sweep` group pinning the one-pass scenario × measure engine against
+//! the equivalent repeated single-measure pipelines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sops_core::run_pipeline;
+use sops_core::scenario::{self, ScenarioSpec, SweepPlan, SweepRunner};
 use sops_info::entropy::kl_entropy;
 use sops_info::gaussian::{equicorrelated_cov, sample_gaussian};
 use sops_info::{
-    multi_information, BinnedWorkspace, BinningConfig, CmiConfig, CmiWorkspace, KdeConfig,
-    KdeWorkspace, KnnMode, KsgConfig, KsgVariant, SampleView,
+    multi_information, BinnedEstimator, BinningConfig, CmiConfig, CmiWorkspace, Estimator,
+    KdeConfig, KdeEstimator, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace,
+    SampleView,
 };
 use std::hint::black_box;
 
@@ -150,9 +155,9 @@ fn bench_ksg_k_sensitivity(c: &mut Criterion) {
 fn bench_estimator_comparison(c: &mut Criterion) {
     // §5.3: "[the KDE approach] was multiple orders of magnitudes slower";
     // binning is fast but wrong in high-d (accuracy covered by tests).
-    // One-shot (throwaway-workspace) calls, same semantics as the
-    // deprecated free functions — case names kept stable across PRs so
-    // the JSON trajectories line up.
+    // One-shot calls through the `Estimator` trait (a cold estimator per
+    // iteration — the semantics the deprecated free functions had); case
+    // names kept stable across PRs so the JSON trajectories line up.
     let mut group = c.benchmark_group("estimator_comparison");
     group.sample_size(10);
     let (data, sizes) = fixture(400, 8);
@@ -161,23 +166,24 @@ fn bench_estimator_comparison(c: &mut Criterion) {
         b.iter(|| multi_information(black_box(&view), &KsgConfig::default()))
     });
     group.bench_function("kde", |b| {
-        b.iter(|| KdeWorkspace::new().multi_information(black_box(&view), &KdeConfig::default()))
+        b.iter(|| KdeEstimator::new(KdeConfig::default()).measure(black_box(&view)))
     });
     group.bench_function("binning_js", |b| {
-        b.iter(|| {
-            BinnedWorkspace::new().multi_information(black_box(&view), &BinningConfig::default())
-        })
+        b.iter(|| BinnedEstimator::new(BinningConfig::default()).measure(black_box(&view)))
     });
     group.finish();
 }
 
 fn bench_estimator_matrix(c: &mut Criterion) {
     // The workspace-backed `Estimator` engines vs their one-shot forms —
-    // the before/after ledger of the measurement-stack unification. The
-    // `one_shot` cases spin a fresh workspace per call (the deprecated
-    // free functions' behaviour); `persistent` reuses a warm one. For CMI
-    // the historical algorithm is additionally pinned by `scan`
-    // (brute-force joint k-NN) vs the adaptive `tree` path.
+    // the before/after ledger of the measurement-stack unification, now
+    // entirely on the trait API the pipeline dispatches through. The
+    // `one_shot` cases build a cold estimator per call (the deprecated
+    // free functions' behaviour); `persistent` drives a warm
+    // `MeasureWorkspace` through `estimator_mut`, the exact path of a
+    // pipeline/sweep evaluation worker. For CMI the historical algorithm
+    // is additionally pinned by `scan` (brute-force joint k-NN) vs the
+    // adaptive `tree` path.
     let mut group = c.benchmark_group("estimator_matrix");
     group.sample_size(10);
 
@@ -187,26 +193,37 @@ fn bench_estimator_matrix(c: &mut Criterion) {
         threads: 1,
         ..KdeConfig::default()
     };
-    let mut kde_ws = KdeWorkspace::new();
+    let mut measure_ws = MeasureWorkspace::new();
     group.bench_function("kde_m400_n8/one_shot", |b| {
-        b.iter(|| KdeWorkspace::new().multi_information(black_box(&view), &kde_cfg))
+        b.iter(|| KdeEstimator::new(kde_cfg).measure(black_box(&view)))
     });
     group.bench_function("kde_m400_n8/persistent", |b| {
-        b.iter(|| kde_ws.multi_information(black_box(&view), &kde_cfg))
+        b.iter(|| {
+            measure_ws
+                .estimator_mut(&MeasureConfig::Kde(kde_cfg))
+                .measure(black_box(&view))
+        })
     });
 
     let bin_cfg = BinningConfig::default();
-    let mut bin_ws = BinnedWorkspace::new();
     group.bench_function("binned_m400_n8/one_shot", |b| {
-        b.iter(|| BinnedWorkspace::new().multi_information(black_box(&view), &bin_cfg))
+        b.iter(|| BinnedEstimator::new(bin_cfg).measure(black_box(&view)))
     });
     group.bench_function("binned_m400_n8/persistent", |b| {
-        b.iter(|| bin_ws.multi_information(black_box(&view), &bin_cfg))
+        b.iter(|| {
+            measure_ws
+                .estimator_mut(&MeasureConfig::Binned(bin_cfg))
+                .measure(black_box(&view))
+        })
     });
     let (data2k, sizes2k) = fixture(2000, 8);
     let view2k = SampleView::new(&data2k, 2000, &sizes2k);
     group.bench_function("binned_m2000_n8/persistent", |b| {
-        b.iter(|| bin_ws.multi_information(black_box(&view2k), &bin_cfg))
+        b.iter(|| {
+            measure_ws
+                .estimator_mut(&MeasureConfig::Binned(bin_cfg))
+                .measure(black_box(&view2k))
+        })
     });
 
     let (x, y, z) = cmi_fixture(1500);
@@ -246,6 +263,56 @@ fn bench_estimator_matrix(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep(c: &mut Criterion) {
+    // One-pass sweep vs repeated single pipelines over the 3-scenario ×
+    // 4-measure grid (smoke scale). `one_pass` simulates each ensemble
+    // once and fans all four estimators over shared reduced views;
+    // `n_pass` runs the same 12 cells as independent `run_pipeline`
+    // calls, re-simulating and re-reducing per measure — identical bits,
+    // k× the physics/reduction work. 100 samples keeps every measure on
+    // its real code path: the Gaussian baseline needs more runs than the
+    // 80-dim joint space of the 40-particle scenarios, else its column
+    // would only time the singular-covariance NaN early-out.
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    let scenarios: Vec<ScenarioSpec> = [
+        scenario::cell_sorting(),
+        scenario::ring_formation(),
+        scenario::mixing_null(),
+    ]
+    .into_iter()
+    .map(|sc| sc.with_scale(100, 20))
+    .collect();
+    let measures = vec![
+        MeasureConfig::default(),
+        MeasureConfig::Kde(KdeConfig::default()),
+        MeasureConfig::Binned(BinningConfig::default()),
+        MeasureConfig::Gaussian,
+    ];
+    let plan = SweepPlan {
+        scenarios,
+        measures,
+        seeds: vec![],
+        threads: 1,
+    };
+    let mut runner = SweepRunner::new();
+    group.bench_function("grid3x4/one_pass", |b| {
+        b.iter(|| runner.run(black_box(&plan)))
+    });
+    group.bench_function("grid3x4/n_pass", |b| {
+        b.iter(|| {
+            for sc in &plan.scenarios {
+                for &m in &plan.measures {
+                    let mut p = sc.pipeline(m);
+                    p.threads = 1;
+                    black_box(run_pipeline(&p));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_kl_entropy(c: &mut Criterion) {
     let mut group = c.benchmark_group("kl_entropy");
     group.sample_size(20);
@@ -270,6 +337,7 @@ criterion_group!(
     bench_ksg_k_sensitivity,
     bench_estimator_comparison,
     bench_estimator_matrix,
+    bench_sweep,
     bench_kl_entropy
 );
 criterion_main!(benches);

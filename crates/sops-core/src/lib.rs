@@ -12,6 +12,10 @@
 //! 4. report the time series `I(W₁⁽ᵗ⁾, …, W_n⁽ᵗ⁾)` whose *increase* is
 //!    the paper's definition of self-organization (§3.1).
 //!
+//! [`scenario`] generalizes the procedure into a registry of named
+//! scenarios and a one-pass sweep engine ([`scenario::SweepRunner`])
+//! that fans each simulated ensemble over any number of measure
+//! selections — `run_pipeline` is its one-cell special case.
 //! [`figures`] packages one generator per figure of the paper's
 //! evaluation; the `sops-repro` binary drives them and `EXPERIMENTS.md`
 //! records paper-vs-measured outcomes. [`dynamics`] implements the §7.3
@@ -23,9 +27,13 @@ pub mod metrics;
 pub mod observers;
 pub mod pipeline;
 pub mod report;
+pub mod scenario;
 
 pub use observers::ObserverMode;
 pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
+pub use scenario::{
+    run_sweep, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan, SweepReport, SweepRunner,
+};
 
 /// Options shared by every figure generator.
 #[derive(Debug, Clone)]

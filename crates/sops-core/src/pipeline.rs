@@ -3,17 +3,19 @@
 //!
 //! Estimation is polymorphic: the pipeline carries a
 //! [`MeasureConfig`] selection and drives it through the
-//! [`sops_info::Estimator`] trait. Each evaluation worker owns one
-//! [`MeasureWorkspace`] (every estimator family's persistent engine) and
-//! one [`ReduceWorkspace`] (ICP + Hungarian scratch), so both the
-//! shape-reduction and the estimation stages reuse their buffers across
-//! all time steps the worker claims.
+//! [`sops_info::Estimator`] trait. Since the scenario/sweep refactor a
+//! pipeline is literally a one-cell sweep — [`run_pipeline`] simulates
+//! the ensemble and hands a single-measure grid to the
+//! [`crate::scenario::SweepRunner`] evaluation pass, so one `Pipeline`
+//! and one sweep cell over the same scenario are bit-identical by
+//! construction.
 
 use crate::observers::{build_observers, ObserverMode};
+use crate::scenario::{eval_pass, eval_schedule, EvalWorker, ScenarioSpec, SweepRunner};
 use sops_info::decomposition::{Decomposition, Grouping};
-use sops_info::measure::{MeasureConfig, MeasureWorkspace};
+use sops_info::measure::MeasureConfig;
 use sops_info::KsgConfig;
-use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig, ReduceWorkspace};
+use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig};
 use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 
 /// Full experiment specification.
@@ -53,13 +55,13 @@ impl Pipeline {
 
     /// The time steps the estimator will be evaluated at.
     pub fn eval_times(&self) -> Vec<usize> {
-        let t_max = self.ensemble.t_max;
-        let every = self.eval_every.max(1);
-        let mut times: Vec<usize> = (0..=t_max).step_by(every).collect();
-        if *times.last().unwrap() != t_max {
-            times.push(t_max);
-        }
-        times
+        eval_schedule(self.ensemble.t_max, self.eval_every)
+    }
+
+    /// This pipeline as an (anonymous) sweep scenario — the physics and
+    /// schedule without the measure selection.
+    pub fn scenario(&self) -> ScenarioSpec {
+        ScenarioSpec::from_pipeline("pipeline", self)
     }
 }
 
@@ -116,71 +118,23 @@ pub fn run_pipeline(p: &Pipeline) -> PipelineResult {
     evaluate_ensemble(&ensemble, p)
 }
 
-/// One evaluation worker's persistent state: every estimator family's
-/// engine plus the shape-reduction scratch, reused across the time steps
-/// the worker claims.
-#[derive(Debug, Clone, Default)]
-struct EvalWorker {
-    measure: MeasureWorkspace,
-    reduce: ReduceWorkspace,
-}
-
-fn eval_workers(threads: usize) -> Vec<EvalWorker> {
-    (0..threads.max(1)).map(|_| EvalWorker::default()).collect()
-}
-
 /// Evaluates the multi-information series on an already-simulated
 /// ensemble (lets callers reuse one ensemble across analyses, e.g. Figs. 4
 /// and 6 share theirs).
+///
+/// A thin one-cell sweep: the work happens in
+/// [`SweepRunner::evaluate`], which generalizes this loop to any number
+/// of measure selections per pass.
 pub fn evaluate_ensemble(ensemble: &Ensemble, p: &Pipeline) -> PipelineResult {
-    let types = p.ensemble.model.types().to_vec();
-    let type_count = p.ensemble.model.type_count();
-    let times = p.eval_times();
-    let threads = if p.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        p.threads
-    };
-
-    // Outer parallelism over evaluation steps; inner stages sequential.
-    // Each eval worker owns one persistent `MeasureWorkspace` +
-    // `ReduceWorkspace`, so per-view estimator indexes and ICP/Hungarian
-    // scratch are reused across the time steps that worker claims
-    // (results are independent of the claim schedule — the workspaces
-    // cache only buffer capacity). The estimator itself is dispatched
-    // through the `sops_info::Estimator` trait, so any `MeasureConfig`
-    // selection rides the same loop.
-    let inner_reduce = ReduceConfig {
-        threads: 1,
-        ..p.reduce
-    };
-    let inner_measure = p.measure.with_threads(1);
-    let mut workers = eval_workers(threads);
-    let per_step: Vec<(f64, f64)> =
-        sops_par::parallel_map_with(times.len(), &mut workers, |w, ti| {
-            let t = times[ti];
-            let slice = ensemble.at_time(t);
-            let reduced = reduce_configurations_with(&mut w.reduce, &slice, &types, &inner_reduce);
-            let mean_cost = if reduced.icp_costs.is_empty() {
-                0.0
-            } else {
-                reduced.icp_costs.iter().sum::<f64>() / reduced.icp_costs.len() as f64
-            };
-            let observers =
-                build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
-            let estimator = w.measure.estimator_mut(&inner_measure);
-            estimator.prepare(&observers.view());
-            let mi = estimator.estimate();
-            (mi, mean_cost)
-        });
-
-    let values: Vec<f64> = per_step.iter().map(|&(mi, _)| mi).collect();
-    let mean_icp_cost: Vec<f64> = per_step.iter().map(|&(_, c)| c).collect();
-    PipelineResult {
-        mi: MiSeries { times, values },
-        mean_icp_cost,
-        equilibrated_fraction: ensemble.equilibrated_fraction(),
-    }
+    SweepRunner::new()
+        .evaluate(
+            ensemble,
+            &p.scenario(),
+            std::slice::from_ref(&p.measure),
+            p.threads,
+        )
+        .pop()
+        .expect("one measure in, one result out")
 }
 
 /// A decomposition (Eq. 5) evaluated along the time axis, grouping
@@ -212,11 +166,6 @@ pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionS
     let types = p.ensemble.model.types().to_vec();
     let type_count = p.ensemble.model.type_count();
     let times = p.eval_times();
-    let threads = if p.threads == 0 {
-        sops_par::default_threads()
-    } else {
-        p.threads
-    };
     let inner_reduce = ReduceConfig {
         threads: 1,
         ..p.reduce
@@ -225,18 +174,21 @@ pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionS
         threads: 1,
         ..p.measure.ksg_config()
     };
-    let mut workers = eval_workers(threads);
-    let terms: Vec<Decomposition> =
-        sops_par::parallel_map_with(times.len(), &mut workers, |w, ti| {
-            let t = times[ti];
-            let slice = ensemble.at_time(t);
-            let reduced = reduce_configurations_with(&mut w.reduce, &slice, &types, &inner_reduce);
+    let mut workers: Vec<EvalWorker> = Vec::new();
+    let terms: Vec<Decomposition> = eval_pass(
+        &mut workers,
+        ensemble,
+        &times,
+        p.threads,
+        |w, slice, _ti| {
+            let reduced = reduce_configurations_with(&mut w.reduce, slice, &types, &inner_reduce);
             let observers =
                 build_observers(&reduced, &types, type_count, p.observers, p.ensemble.seed);
             let grouping = Grouping::from_labels(&observers.block_types);
             w.measure
                 .decompose(&observers.view(), &grouping, &inner_est)
-        });
+        },
+    );
     DecompositionSeries { times, terms }
 }
 

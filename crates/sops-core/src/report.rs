@@ -1,11 +1,13 @@
 //! Plain-text reporting: CSV writing, ASCII line charts and scatter
-//! plots.
+//! plots, plus the sweep-report CSV/JSON writers.
 //!
 //! The reproduction harness renders every figure both as a CSV (for
 //! external plotting) and as a terminal chart, so `cargo run -p
 //! sops-repro` is self-contained. Deliberately dependency-free (serde
-//! alone, without a format crate, buys nothing offline — see DESIGN.md).
+//! alone, without a format crate, buys nothing offline — see DESIGN.md);
+//! the JSON writer emits by hand, like the vendored criterion shim.
 
+use crate::scenario::SweepReport;
 use sops_math::Vec2;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -38,6 +40,120 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Re
         writeln!(out, "{line}")?;
     }
     out.flush()
+}
+
+/// Writes a sweep report as the flat scenario × measure × time CSV
+/// table: `scenario,measure,seed,time,mi_bits,mean_icp_cost`, one row
+/// per evaluated step of every grid cell. Non-finite estimates are
+/// written as `nan`/`inf`/`-inf`.
+pub fn write_sweep_csv(path: &Path, report: &SweepReport) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(out, "scenario,measure,seed,time,mi_bits,mean_icp_cost")?;
+    for row in report.rows() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            csv_string(row.scenario),
+            csv_string(row.measure),
+            row.seed,
+            row.time,
+            csv_float(row.mi),
+            csv_float(row.mean_icp_cost)
+        )?;
+    }
+    out.flush()
+}
+
+/// RFC-4180 quoting for user-supplied names: a field containing a comma,
+/// quote or line break is wrapped in quotes with inner quotes doubled.
+fn csv_string(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_float(v: f64) -> String {
+    if v.is_nan() {
+        "nan".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf" } else { "-inf" }.into()
+    } else {
+        format!("{v:.9}")
+    }
+}
+
+/// JSON has no NaN/∞ literals; non-finite estimates become `null`.
+fn json_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes a sweep report as JSON: one object per grid cell carrying the
+/// scenario/measure/seed coordinates, the summary `delta_mi`
+/// (`I(t_last) − I(t_0)`) and the full per-time-step series.
+pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::from("{\n  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        let r = &cell.result;
+        let _ = writeln!(
+            body,
+            "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, \"delta_mi\": {}, \
+             \"equilibrated_fraction\": {}, \"times\": [{}], \"mi_bits\": [{}], \
+             \"mean_icp_cost\": [{}]}}{}",
+            json_string(&cell.scenario),
+            json_string(cell.measure.label()),
+            cell.seed,
+            json_float(r.mi.increase()),
+            json_float(r.equilibrated_fraction),
+            r.mi.times
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.mi.values
+                .iter()
+                .map(|&v| json_float(v))
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.mean_icp_cost
+                .iter()
+                .map(|&v| json_float(v))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < report.cells.len() { "," } else { "" }
+        );
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
 }
 
 /// A named data series for [`line_chart`].
@@ -189,6 +305,63 @@ mod tests {
         assert_eq!(lines.next(), Some("t,mi"));
         assert!(lines.next().unwrap().starts_with("0.000000000,1.5"));
         assert!(lines.next().unwrap().ends_with("nan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_writers_round_trip() {
+        use crate::pipeline::{MiSeries, PipelineResult};
+        use crate::scenario::{SweepCell, SweepReport};
+        use sops_info::MeasureConfig;
+        let cell = |measure: MeasureConfig, values: Vec<f64>| SweepCell {
+            scenario: "a".into(),
+            measure,
+            measure_label: measure.label().into(),
+            seed: 1,
+            result: PipelineResult {
+                mi: MiSeries {
+                    times: vec![0, 10],
+                    values,
+                },
+                mean_icp_cost: vec![0.5, 0.25],
+                equilibrated_fraction: 1.0,
+            },
+        };
+        let report = SweepReport {
+            cells: vec![
+                cell(MeasureConfig::default(), vec![0.0, 2.0]),
+                cell(MeasureConfig::Gaussian, vec![f64::NAN, 1.0]),
+            ],
+        };
+        let dir = std::env::temp_dir().join("sops_sweep_report_test");
+        let csv_path = dir.join("sweep.csv");
+        let json_path = dir.join("sweep.json");
+        write_sweep_csv(&csv_path, &report).unwrap();
+        write_sweep_json(&json_path, &report).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("scenario,measure,seed,time,mi_bits,mean_icp_cost"));
+        assert_eq!(csv.lines().count(), 1 + 4, "one row per cell per step");
+        assert!(csv.contains("a,ksg,1,10,2.000000000,0.250000000"), "{csv}");
+        assert!(csv.contains("a,gaussian,1,0,nan,"), "{csv}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"scenario\": \"a\""), "{json}");
+        assert!(json.contains("\"measure\": \"gaussian\""), "{json}");
+        assert!(
+            json.contains("\"mi_bits\": [null, 1.000000000]"),
+            "NaN must serialize as null: {json}"
+        );
+
+        // A registered scenario name is arbitrary: commas and quotes must
+        // not corrupt the CSV structure.
+        let mut tricky = report.clone();
+        tricky.cells[0].scenario = "sorting, \"v2\"".into();
+        write_sweep_csv(&csv_path, &tricky).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.starts_with("\"sorting, \"\"v2\"\"\",ksg,1,0,"),
+            "name must be RFC-4180 quoted: {row}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

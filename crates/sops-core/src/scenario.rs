@@ -1,0 +1,954 @@
+//! Scenario registry and the one-pass sweep engine.
+//!
+//! The paper's evaluation is a *matrix*: particle-system scenarios (force
+//! laws, type mixtures, schedules) crossed with self-organization
+//! measures. A [`ScenarioSpec`] names one column of the physics side — a
+//! model, its initialization, integration schedule and evaluation times —
+//! and the [`ScenarioRegistry`] ships the built-in setups (the
+//! cell-sorting and ring-formation systems of the examples plus a
+//! mixing/null control). A [`SweepPlan`] is the cartesian grid
+//! scenarios × [`MeasureConfig`] selections × seeds, and the
+//! [`SweepRunner`] executes it *one-pass*:
+//!
+//! * each (scenario, seed) ensemble is simulated **once**,
+//! * per evaluated time step, the cross-sample view is materialized once
+//!   ([`Ensemble::at_time_into`] into a per-worker buffer), the shape
+//!   reduction runs once and the observer matrix is built once,
+//! * every selected estimator is then fanned over that shared prepared
+//!   state through the [`sops_info::Estimator`] trait, with per-worker
+//!   [`MeasureWorkspace`]/[`ReduceWorkspace`] scratch reused across all
+//!   the time steps a worker claims ([`sops_par::parallel_map_with`]).
+//!
+//! Each grid cell's [`PipelineResult`] is **bit-identical** to the
+//! equivalent standalone [`crate::run_pipeline`] call for any worker
+//! count — estimates depend only on the prepared view and the
+//! configuration, never on workspace history (the workspaces cache only
+//! buffer capacity). `run_pipeline` itself is a thin one-cell sweep over
+//! this engine.
+//!
+//! Results land in a [`SweepReport`], a flat scenario × measure × time
+//! table with CSV/JSON writers in [`crate::report`] and an ASCII grid
+//! renderer; the `sops-repro` binary drives it via the `sweep`
+//! subcommand.
+
+use crate::observers::{build_observers, ObserverMode};
+use crate::pipeline::{MiSeries, Pipeline, PipelineResult};
+use sops_info::measure::{MeasureConfig, MeasureWorkspace};
+use sops_math::{PairMatrix, Vec2};
+use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig, ReduceWorkspace};
+use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
+use sops_sim::force::{ForceModel, LinearForce};
+use sops_sim::{IntegratorConfig, Model};
+use std::fmt::Write as _;
+
+/// A named particle-system experiment — model, initialization, schedule
+/// and evaluation times: everything a [`Pipeline`] carries except the
+/// measure selection, which the sweep grid supplies.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Registry key (also the row label of sweep reports).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Simulation ensemble: model, init, integrator, horizon, samples.
+    pub ensemble: EnsembleSpec,
+    /// Shape-reduction parameters.
+    pub reduce: ReduceConfig,
+    /// Observer construction.
+    pub observers: ObserverMode,
+    /// Evaluate at `t = 0, eval_every, 2·eval_every, …` and always at the
+    /// final step.
+    pub eval_every: usize,
+}
+
+/// The time steps an `eval_every` schedule evaluates over a `t_max`
+/// horizon: `0, every, 2·every, …` plus always `t_max` itself.
+pub fn eval_schedule(t_max: usize, eval_every: usize) -> Vec<usize> {
+    let every = eval_every.max(1);
+    let mut times: Vec<usize> = (0..=t_max).step_by(every).collect();
+    if *times.last().unwrap() != t_max {
+        times.push(t_max);
+    }
+    times
+}
+
+impl ScenarioSpec {
+    /// The scenario a [`Pipeline`] describes, under the given name (the
+    /// inverse of [`ScenarioSpec::pipeline`]).
+    pub fn from_pipeline(name: impl Into<String>, p: &Pipeline) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            ensemble: p.ensemble.clone(),
+            reduce: p.reduce,
+            observers: p.observers,
+            eval_every: p.eval_every,
+        }
+    }
+
+    /// A single-measure [`Pipeline`] over this scenario (threads default;
+    /// set [`Pipeline::threads`] on the result to override).
+    pub fn pipeline(&self, measure: MeasureConfig) -> Pipeline {
+        Pipeline {
+            ensemble: self.ensemble.clone(),
+            reduce: self.reduce,
+            measure,
+            observers: self.observers,
+            eval_every: self.eval_every,
+            threads: 0,
+        }
+    }
+
+    /// The evaluation time steps of this scenario.
+    pub fn eval_times(&self) -> Vec<usize> {
+        eval_schedule(self.ensemble.t_max, self.eval_every)
+    }
+
+    /// The same scenario with the master seed replaced — how the sweep
+    /// grid's seed axis is applied.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.ensemble.seed = seed;
+        self
+    }
+
+    /// The same scenario re-scaled to `samples` ensemble runs over a
+    /// `t_max` horizon (evaluation cadence clamped to stay meaningful) —
+    /// smoke/bench scale for the full-size registry entries.
+    pub fn with_scale(mut self, samples: usize, t_max: usize) -> Self {
+        assert!(samples > 0 && t_max > 0, "with_scale: degenerate scale");
+        self.ensemble.samples = samples;
+        self.ensemble.t_max = t_max;
+        self.eval_every = self.eval_every.clamp(1, t_max);
+        self
+    }
+}
+
+/// Integrator schedule shared by the built-in adhesion scenarios (the
+/// examples' settings: gentle noise, two substeps per recorded step).
+fn adhesion_integrator(dt: f64) -> IntegratorConfig {
+    IntegratorConfig {
+        dt,
+        substeps: 2,
+        noise_variance: 0.0025,
+        max_step: 0.5,
+        ..IntegratorConfig::default()
+    }
+}
+
+/// Differential-adhesion cell sorting (`examples/cell_sorting.rs`): two
+/// tissue types whose same-type preferred distance (1.2) is smaller than
+/// the cross-type one (3.0) un-mix purely through local interaction — the
+/// paper's biological motivation, and a strongly organizing system.
+pub fn cell_sorting() -> ScenarioSpec {
+    let force_scale = PairMatrix::constant(2, 1.0);
+    let preferred = PairMatrix::from_full(2, &[1.2, 3.0, 3.0, 1.2]);
+    let law = ForceModel::Linear(LinearForce::new(force_scale, preferred));
+    ScenarioSpec {
+        name: "cell_sorting".into(),
+        description: "two-type differential adhesion: tissues un-mix (strong organization)".into(),
+        ensemble: EnsembleSpec {
+            model: Model::balanced(40, law, 6.0),
+            integrator: adhesion_integrator(0.05),
+            init_radius: 3.0,
+            t_max: 100,
+            samples: 120,
+            seed: 11,
+            criterion: None,
+        },
+        reduce: ReduceConfig::default(),
+        observers: ObserverMode::PerParticle,
+        eval_every: 20,
+    }
+}
+
+/// Ring formation in a single-type collective
+/// (`examples/ring_formation.rs`, the Figs. 5 & 7 system): 20 identical
+/// particles under the F1 law with unbounded cut-off settle into two
+/// concentric regular polygons.
+pub fn ring_formation() -> ScenarioSpec {
+    let law = ForceModel::Linear(LinearForce::uniform(1.0, 2.0));
+    ScenarioSpec {
+        name: "ring_formation".into(),
+        description: "single-type F1 collective settling into concentric rings".into(),
+        ensemble: EnsembleSpec {
+            model: Model::balanced(20, law, f64::INFINITY),
+            integrator: adhesion_integrator(0.02),
+            init_radius: 4.0,
+            t_max: 250,
+            samples: 150,
+            seed: 5,
+            criterion: None,
+        },
+        reduce: ReduceConfig::default(),
+        observers: ObserverMode::PerParticle,
+        eval_every: 50,
+    }
+}
+
+/// Mixing/null control: the cell-sorting geometry with the interaction
+/// switched off (`k = 0`) — pure diffusion. The ensemble stays an
+/// unstructured cloud, so a calibrated measure must report (near-)zero
+/// self-organization; this is the negative control of every sweep.
+pub fn mixing_null() -> ScenarioSpec {
+    let force_scale = PairMatrix::constant(2, 0.0);
+    let preferred = PairMatrix::constant(2, 1.0);
+    let law = ForceModel::Linear(LinearForce::new(force_scale, preferred));
+    ScenarioSpec {
+        name: "mixing_null".into(),
+        description: "interaction-free diffusion: the stays-mixed negative control".into(),
+        ensemble: EnsembleSpec {
+            model: Model::balanced(40, law, 6.0),
+            integrator: adhesion_integrator(0.05),
+            init_radius: 3.0,
+            t_max: 100,
+            samples: 120,
+            seed: 23,
+            criterion: None,
+        },
+        reduce: ReduceConfig::default(),
+        observers: ObserverMode::PerParticle,
+        eval_every: 20,
+    }
+}
+
+/// A name-keyed collection of scenarios; [`ScenarioRegistry::builtin`]
+/// ships the paper's gallery, [`ScenarioRegistry::register`] adds or
+/// replaces entries (last write wins, insertion order preserved).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// The built-in gallery: [`cell_sorting`], [`ring_formation`],
+    /// [`mixing_null`].
+    pub fn builtin() -> Self {
+        let mut reg = ScenarioRegistry::new();
+        reg.register(cell_sorting());
+        reg.register(ring_formation());
+        reg.register(mixing_null());
+        reg
+    }
+
+    /// Adds `spec`, replacing any scenario of the same name in place.
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        assert!(!spec.name.is_empty(), "ScenarioRegistry: unnamed scenario");
+        match self.scenarios.iter_mut().find(|s| s.name == spec.name) {
+            Some(slot) => *slot = spec,
+            None => self.scenarios.push(spec),
+        }
+    }
+
+    /// The scenario registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// All registered scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.scenarios.iter()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Clones the scenarios selected by `names`, in the given order;
+    /// `Err` names the first unknown entry (with the known names, for CLI
+    /// error messages).
+    pub fn select(&self, names: &[&str]) -> Result<Vec<ScenarioSpec>, String> {
+        names
+            .iter()
+            .map(|&n| {
+                self.get(n).cloned().ok_or_else(|| {
+                    format!(
+                        "unknown scenario '{n}' (known: {})",
+                        self.names().join(", ")
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// The cartesian sweep grid: scenarios × measure selections × master
+/// seeds. An empty seed axis means "each scenario's own seed" (one
+/// ensemble per scenario); otherwise every scenario is re-run under every
+/// listed seed.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Physics axis.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Measure axis.
+    pub measures: Vec<MeasureConfig>,
+    /// Seed axis (empty = use each scenario's own seed).
+    pub seeds: Vec<u64>,
+    /// Worker threads for simulation and evaluation (0 = default).
+    pub threads: usize,
+}
+
+impl SweepPlan {
+    /// A plan over the given grid with the scenarios' own seeds and
+    /// default threads.
+    pub fn new(scenarios: Vec<ScenarioSpec>, measures: Vec<MeasureConfig>) -> Self {
+        SweepPlan {
+            scenarios,
+            measures,
+            seeds: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// Validates the grid; called by [`SweepRunner::run`].
+    pub fn validate(&self) {
+        assert!(!self.scenarios.is_empty(), "SweepPlan: no scenarios");
+        assert!(!self.measures.is_empty(), "SweepPlan: no measures");
+        for s in &self.scenarios {
+            assert!(!s.name.is_empty(), "SweepPlan: unnamed scenario");
+        }
+    }
+
+    /// Number of ensembles the plan simulates (scenario × seed pairs) —
+    /// each is simulated exactly once regardless of the measure count.
+    pub fn ensemble_count(&self) -> usize {
+        self.scenarios.len() * self.seeds.len().max(1)
+    }
+
+    /// Number of grid cells (scenario × seed × measure).
+    pub fn cell_count(&self) -> usize {
+        self.ensemble_count() * self.measures.len()
+    }
+}
+
+/// One evaluation worker's persistent state: every estimator family's
+/// engine plus the shape-reduction scratch, reused across the time steps
+/// (and, held in a [`SweepRunner`], the grid cells) the worker claims.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalWorker {
+    pub(crate) measure: MeasureWorkspace,
+    pub(crate) reduce: ReduceWorkspace,
+}
+
+/// Runs `f(worker, cross_sample_slice, time_index)` for every entry of
+/// `times`, parallel over evaluation steps with persistent per-worker
+/// scratch. Each worker materializes the time slice into its own reused
+/// buffer ([`Ensemble::at_time_into`]), so the steady state of the pass
+/// allocates nothing beyond `f`'s own outputs.
+pub(crate) fn eval_pass<T, F>(
+    workers: &mut Vec<EvalWorker>,
+    ensemble: &Ensemble,
+    times: &[usize],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut EvalWorker, &[&[Vec2]], usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        sops_par::default_threads()
+    } else {
+        threads
+    }
+    .max(1);
+    while workers.len() < threads {
+        workers.push(EvalWorker::default());
+    }
+    // Per-call view of the persistent workers: the slice buffer borrows
+    // the ensemble, so it cannot live inside the lifetime-free
+    // `EvalWorker`; sizing it to the sample count up front keeps the pass
+    // itself allocation-free.
+    struct PassWorker<'w, 'e> {
+        worker: &'w mut EvalWorker,
+        slice: Vec<&'e [Vec2]>,
+    }
+    let mut pass_workers: Vec<PassWorker<'_, '_>> = workers
+        .iter_mut()
+        .take(threads)
+        .map(|worker| PassWorker {
+            worker,
+            slice: Vec::with_capacity(ensemble.samples()),
+        })
+        .collect();
+    sops_par::parallel_map_with(times.len(), &mut pass_workers, |pw, ti| {
+        ensemble.at_time_into(times[ti], &mut pw.slice);
+        f(pw.worker, &pw.slice, ti)
+    })
+}
+
+/// The one-pass sweep engine: persistent evaluation workers fanning any
+/// number of measure selections over each simulated ensemble.
+///
+/// Holding a runner across [`SweepRunner::run`] calls reuses every
+/// worker's estimator and reduction scratch — a warmed-up runner driving
+/// a bounded workload performs no steady-state allocations in its
+/// evaluation stage (enforced by `tests/sweep_determinism.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunner {
+    workers: Vec<EvalWorker>,
+}
+
+impl SweepRunner {
+    /// A runner with cold scratch; buffers grow to the workload on first
+    /// use.
+    pub fn new() -> Self {
+        SweepRunner::default()
+    }
+
+    /// Executes the full grid: simulates each (scenario, seed) ensemble
+    /// exactly once and evaluates every measure on it in one pass.
+    pub fn run(&mut self, plan: &SweepPlan) -> SweepReport {
+        plan.validate();
+        let labels = measure_labels(&plan.measures);
+        let mut cells = Vec::with_capacity(plan.cell_count());
+        for base in &plan.scenarios {
+            let own_seed = [base.ensemble.seed];
+            let seeds: &[u64] = if plan.seeds.is_empty() {
+                &own_seed
+            } else {
+                &plan.seeds
+            };
+            for &seed in seeds {
+                let scenario = base.clone().with_seed(seed);
+                let ensemble = run_ensemble(&scenario.ensemble, plan.threads);
+                let results = self.evaluate(&ensemble, &scenario, &plan.measures, plan.threads);
+                for ((measure, label), result) in plan.measures.iter().zip(&labels).zip(results) {
+                    cells.push(SweepCell {
+                        scenario: scenario.name.clone(),
+                        measure: *measure,
+                        measure_label: label.clone(),
+                        seed,
+                        result,
+                    });
+                }
+            }
+        }
+        SweepReport { cells }
+    }
+
+    /// Evaluates `measures` over an already-simulated ensemble in one
+    /// pass: per evaluated time step the cross-sample view, the shape
+    /// reduction and the observer matrix are built **once** and every
+    /// estimator runs on that shared prepared state. Returns one
+    /// [`PipelineResult`] per measure, each bit-identical to the
+    /// equivalent standalone [`crate::evaluate_ensemble`] call for any
+    /// `threads`.
+    pub fn evaluate(
+        &mut self,
+        ensemble: &Ensemble,
+        scenario: &ScenarioSpec,
+        measures: &[MeasureConfig],
+        threads: usize,
+    ) -> Vec<PipelineResult> {
+        let types = scenario.ensemble.model.types().to_vec();
+        let type_count = scenario.ensemble.model.type_count();
+        let times = scenario.eval_times();
+        // Outer parallelism over evaluation steps; inner stages
+        // sequential to avoid oversubscription (same policy as the
+        // pipeline it generalizes).
+        let inner_reduce = ReduceConfig {
+            threads: 1,
+            ..scenario.reduce
+        };
+        let inner_measures: Vec<MeasureConfig> =
+            measures.iter().map(|m| m.with_threads(1)).collect();
+        let observers_mode = scenario.observers;
+        let seed = scenario.ensemble.seed;
+        let per_step: Vec<(Vec<f64>, f64)> = eval_pass(
+            &mut self.workers,
+            ensemble,
+            &times,
+            threads,
+            |w, slice, _ti| {
+                let reduced =
+                    reduce_configurations_with(&mut w.reduce, slice, &types, &inner_reduce);
+                let mean_cost = if reduced.icp_costs.is_empty() {
+                    0.0
+                } else {
+                    reduced.icp_costs.iter().sum::<f64>() / reduced.icp_costs.len() as f64
+                };
+                let observers = build_observers(&reduced, &types, type_count, observers_mode, seed);
+                let view = observers.view();
+                let mis: Vec<f64> = inner_measures
+                    .iter()
+                    .map(|m| {
+                        let estimator = w.measure.estimator_mut(m);
+                        estimator.prepare(&view);
+                        estimator.estimate()
+                    })
+                    .collect();
+                (mis, mean_cost)
+            },
+        );
+        let mean_icp_cost: Vec<f64> = per_step.iter().map(|&(_, c)| c).collect();
+        let equilibrated_fraction = ensemble.equilibrated_fraction();
+        (0..measures.len())
+            .map(|mi| PipelineResult {
+                mi: MiSeries {
+                    times: times.clone(),
+                    values: per_step.iter().map(|(v, _)| v[mi]).collect(),
+                },
+                mean_icp_cost: mean_icp_cost.clone(),
+                equilibrated_fraction,
+            })
+            .collect()
+    }
+
+    /// Capacities of every persistent buffer of the evaluation workers —
+    /// constant for a warmed-up runner driving a bounded grid (the
+    /// zero-steady-state-allocation contract; per-cell *outputs* — the
+    /// simulated ensembles and the report itself — are work products and
+    /// excluded, like every workspace in this repo).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut sig = vec![self.workers.len()];
+        for w in &self.workers {
+            sig.extend(w.measure.capacity_signature());
+            sig.extend(w.reduce.capacity_signature());
+        }
+        sig
+    }
+}
+
+/// Convenience: run `plan` on a throwaway [`SweepRunner`].
+pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
+    SweepRunner::new().run(plan)
+}
+
+/// Per-plan display labels for the measure axis: the family label
+/// ([`MeasureConfig::label`]), with repeats of the same family — e.g. two
+/// KSG selections with different `k` — disambiguated as `ksg`, `ksg#2`,
+/// `ksg#3`, … so no two cells of one ensemble share a label.
+pub fn measure_labels(measures: &[MeasureConfig]) -> Vec<String> {
+    measures
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let base = m.label();
+            let prior = measures[..i].iter().filter(|p| p.label() == base).count();
+            if prior == 0 {
+                base.to_string()
+            } else {
+                format!("{base}#{}", prior + 1)
+            }
+        })
+        .collect()
+}
+
+/// One grid cell: a scenario × seed × measure combination and its full
+/// per-time-step result.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Measure selection evaluated on the cell.
+    pub measure: MeasureConfig,
+    /// Plan-unique display label of the measure (see [`measure_labels`]):
+    /// the family label, suffixed `#2`, `#3`, … when the plan selects the
+    /// same family more than once.
+    pub measure_label: String,
+    /// Master seed the ensemble was simulated under.
+    pub seed: u64,
+    /// The measured series — bit-identical to the standalone
+    /// [`crate::run_pipeline`] run of the same cell.
+    pub result: PipelineResult,
+}
+
+/// One row of the flattened scenario × measure × time table.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRow<'a> {
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// Plan-unique measure label (see [`measure_labels`]).
+    pub measure: &'a str,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluated time step.
+    pub time: usize,
+    /// Multi-information estimate (bits).
+    pub mi: f64,
+    /// Mean ICP alignment cost at the step.
+    pub mean_icp_cost: f64,
+}
+
+/// The structured output of a sweep: every grid cell with its series,
+/// flattenable to a scenario × measure × time table and renderable as an
+/// ASCII ΔI grid.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Grid cells in plan order (scenario-major, then seed, then
+    /// measure).
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// The first cell matching scenario name and measure label (and seed,
+    /// if given). Labels are plan-unique (see [`measure_labels`]), so
+    /// every cell of a single-seed plan is addressable.
+    pub fn get(&self, scenario: &str, measure: &str, seed: Option<u64>) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.scenario == scenario && c.measure_label == measure && seed.is_none_or(|s| c.seed == s)
+        })
+    }
+
+    /// Flattens every cell into scenario × measure × time rows (the CSV
+    /// layout of [`crate::report::write_sweep_csv`]).
+    pub fn rows(&self) -> Vec<SweepRow<'_>> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            for (&time, (&mi, &cost)) in cell
+                .result
+                .mi
+                .times
+                .iter()
+                .zip(cell.result.mi.values.iter().zip(&cell.result.mean_icp_cost))
+            {
+                out.push(SweepRow {
+                    scenario: &cell.scenario,
+                    measure: &cell.measure_label,
+                    seed: cell.seed,
+                    time,
+                    mi,
+                    mean_icp_cost: cost,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the ΔI summary grid: one row per (scenario, seed), one
+    /// column per measure, each cell the series increase
+    /// `I(t_last) − I(t_0)` in bits.
+    pub fn grid_table(&self) -> String {
+        let mut rows: Vec<(&str, u64)> = Vec::new();
+        let mut cols: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            let row = (cell.scenario.as_str(), cell.seed);
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+            if !cols.contains(&cell.measure_label.as_str()) {
+                cols.push(&cell.measure_label);
+            }
+        }
+        let multi_seed = rows
+            .iter()
+            .any(|&(name, seed)| rows.iter().any(|&(n2, s2)| n2 == name && s2 != seed));
+        let label = |name: &str, seed: u64| {
+            if multi_seed {
+                format!("{name}#{seed}")
+            } else {
+                name.to_string()
+            }
+        };
+        let w = rows
+            .iter()
+            .map(|&(n, s)| label(n, s).len())
+            .chain(["scenario".len()])
+            .max()
+            .unwrap_or(8);
+        let mut out = String::from("ΔI (bits) — scenario × measure\n");
+        let _ = write!(out, "  {:<w$}", "scenario");
+        for c in &cols {
+            let cw = c.len().max(9);
+            let _ = write!(out, " {c:>cw$}");
+        }
+        out.push('\n');
+        for &(name, seed) in &rows {
+            let _ = write!(out, "  {:<w$}", label(name, seed));
+            for c in &cols {
+                let cw = c.len().max(9);
+                match self.get(name, c, Some(seed)) {
+                    Some(cell) => {
+                        let _ = write!(out, " {:>cw$.3}", cell.result.mi.increase());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>cw$}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline;
+    use sops_info::KsgConfig;
+
+    /// Tiny organizing scenario for fast tests.
+    fn small_scenario(name: &str, seed: u64) -> ScenarioSpec {
+        let k = PairMatrix::constant(2, 1.0);
+        let mut r = PairMatrix::constant(2, 1.0);
+        r.set(0, 1, 2.0);
+        ScenarioSpec {
+            name: name.into(),
+            description: "test".into(),
+            ensemble: EnsembleSpec {
+                model: Model::balanced(
+                    8,
+                    ForceModel::Linear(LinearForce::new(k, r)),
+                    f64::INFINITY,
+                ),
+                integrator: IntegratorConfig::default(),
+                init_radius: 2.0,
+                t_max: 20,
+                samples: 40,
+                seed,
+                criterion: None,
+            },
+            reduce: ReduceConfig::default(),
+            observers: ObserverMode::PerParticle,
+            eval_every: 10,
+        }
+    }
+
+    #[test]
+    fn registry_round_trip_and_replacement() {
+        let mut reg = ScenarioRegistry::builtin();
+        assert_eq!(
+            reg.names(),
+            vec!["cell_sorting", "ring_formation", "mixing_null"]
+        );
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("cell_sorting").is_some());
+        assert!(reg.get("nope").is_none());
+        // Replacement keeps position and count.
+        let replacement = small_scenario("ring_formation", 1);
+        reg.register(replacement);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.names()[1], "ring_formation");
+        assert_eq!(reg.get("ring_formation").unwrap().ensemble.seed, 1);
+        // select() preserves request order and reports unknowns.
+        let picked = reg.select(&["mixing_null", "cell_sorting"]).unwrap();
+        assert_eq!(picked[0].name, "mixing_null");
+        assert!(reg.select(&["bogus"]).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn eval_schedule_covers_endpoints() {
+        assert_eq!(eval_schedule(30, 15), vec![0, 15, 30]);
+        assert_eq!(eval_schedule(31, 15), vec![0, 15, 30, 31]);
+        assert_eq!(eval_schedule(5, 0), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn builtin_scenarios_are_well_formed() {
+        for sc in ScenarioRegistry::builtin().iter() {
+            sc.ensemble.validate();
+            let times = sc.eval_times();
+            assert_eq!(*times.first().unwrap(), 0, "{}", sc.name);
+            assert_eq!(*times.last().unwrap(), sc.ensemble.t_max, "{}", sc.name);
+            // Scaled-down variants stay valid (the bench/CLI fast path).
+            let small = sc.clone().with_scale(10, 8);
+            small.ensemble.validate();
+            assert_eq!(*small.eval_times().last().unwrap(), 8);
+        }
+    }
+
+    #[test]
+    fn plan_counts_and_validation() {
+        let plan = SweepPlan::new(
+            vec![small_scenario("a", 1), small_scenario("b", 2)],
+            vec![MeasureConfig::default(), MeasureConfig::Gaussian],
+        );
+        assert_eq!(plan.ensemble_count(), 2);
+        assert_eq!(plan.cell_count(), 4);
+        let mut seeded = plan.clone();
+        seeded.seeds = vec![7, 8, 9];
+        assert_eq!(seeded.ensemble_count(), 6);
+        assert_eq!(seeded.cell_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measures")]
+    fn empty_measure_axis_rejected() {
+        run_sweep(&SweepPlan::new(vec![small_scenario("a", 1)], vec![]));
+    }
+
+    #[test]
+    fn sweep_cells_match_standalone_pipelines() {
+        // The acceptance contract in miniature: every grid cell must be
+        // bit-identical to the standalone single-measure pipeline run.
+        let plan = SweepPlan {
+            scenarios: vec![small_scenario("a", 9), small_scenario("b", 10)],
+            measures: vec![
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 3,
+                    ..KsgConfig::default()
+                }),
+                MeasureConfig::Gaussian,
+            ],
+            seeds: vec![],
+            threads: 2,
+        };
+        let report = run_sweep(&plan);
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            let sc = plan
+                .scenarios
+                .iter()
+                .find(|s| s.name == cell.scenario)
+                .unwrap();
+            let mut p = sc.pipeline(cell.measure);
+            p.threads = 2;
+            let standalone = run_pipeline(&p);
+            assert_eq!(standalone.mi.times, cell.result.mi.times);
+            for (a, b) in standalone.mi.values.iter().zip(&cell.result.mi.values) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}/{}",
+                    cell.scenario,
+                    cell.measure.label()
+                );
+            }
+            for (a, b) in standalone
+                .mean_icp_cost
+                .iter()
+                .zip(&cell.result.mean_icp_cost)
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_axis_expands_the_grid() {
+        let plan = SweepPlan {
+            scenarios: vec![small_scenario("a", 1)],
+            measures: vec![MeasureConfig::Gaussian],
+            seeds: vec![3, 4],
+            threads: 1,
+        };
+        let report = run_sweep(&plan);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].seed, 3);
+        assert_eq!(report.cells[1].seed, 4);
+        // Different seeds, different ensembles, different series.
+        assert_ne!(
+            report.cells[0].result.mi.values, report.cells[1].result.mi.values,
+            "seed axis must change the ensemble"
+        );
+        // Grid labels disambiguate by seed.
+        let grid = report.grid_table();
+        assert!(grid.contains("a#3") && grid.contains("a#4"), "{grid}");
+    }
+
+    #[test]
+    fn report_rows_flatten_every_cell() {
+        let plan = SweepPlan {
+            scenarios: vec![small_scenario("a", 5)],
+            measures: vec![MeasureConfig::Gaussian, MeasureConfig::default()],
+            seeds: vec![],
+            threads: 1,
+        };
+        let report = run_sweep(&plan);
+        let rows = report.rows();
+        let times = plan.scenarios[0].eval_times().len();
+        assert_eq!(rows.len(), 2 * times);
+        assert_eq!(rows[0].scenario, "a");
+        assert_eq!(rows[0].measure, "gaussian");
+        assert_eq!(rows[0].time, 0);
+        assert_eq!(rows[times].measure, "ksg");
+        let grid = report.grid_table();
+        assert!(grid.contains("gaussian") && grid.contains("ksg"));
+        assert!(!grid.contains('#'), "single-seed grid omits seed labels");
+    }
+
+    #[test]
+    fn duplicate_measure_families_stay_addressable() {
+        // Two KSG selections with different k (the bench's own k-ablation
+        // shape) must land in distinct, addressable cells — not collapse
+        // onto one label.
+        assert_eq!(
+            measure_labels(&[
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 3,
+                    ..KsgConfig::default()
+                }),
+                MeasureConfig::Gaussian,
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 5,
+                    ..KsgConfig::default()
+                }),
+            ]),
+            vec!["ksg", "gaussian", "ksg#2"]
+        );
+        let plan = SweepPlan {
+            scenarios: vec![small_scenario("a", 3)],
+            measures: vec![
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 3,
+                    ..KsgConfig::default()
+                }),
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 5,
+                    ..KsgConfig::default()
+                }),
+            ],
+            seeds: vec![],
+            threads: 1,
+        };
+        let report = run_sweep(&plan);
+        let k3 = report.get("a", "ksg", None).unwrap();
+        let k5 = report.get("a", "ksg#2", None).unwrap();
+        assert_ne!(
+            k3.result.mi.values, k5.result.mi.values,
+            "different k must produce different estimates"
+        );
+        let grid = report.grid_table();
+        assert!(
+            grid.contains("ksg#2"),
+            "grid must render both columns: {grid}"
+        );
+        let rows = report.rows();
+        assert!(rows.iter().any(|r| r.measure == "ksg#2"));
+    }
+
+    #[test]
+    fn pipeline_round_trips_through_scenario() {
+        let sc = small_scenario("round", 77);
+        let p = sc.pipeline(MeasureConfig::default());
+        let back = ScenarioSpec::from_pipeline("round", &p);
+        assert_eq!(back.ensemble.seed, sc.ensemble.seed);
+        assert_eq!(back.eval_every, sc.eval_every);
+        assert_eq!(back.eval_times(), sc.eval_times());
+    }
+
+    #[test]
+    fn mixing_null_stays_disorganized() {
+        // The negative control at smoke scale: no interaction, no rise.
+        let sc = mixing_null().with_scale(60, 30);
+        let mut runner = SweepRunner::new();
+        let ensemble = run_ensemble(&sc.ensemble, 0);
+        let results = runner.evaluate(&ensemble, &sc, &[MeasureConfig::default()], 0);
+        let organizing = cell_sorting().with_scale(60, 30);
+        let org_ensemble = run_ensemble(&organizing.ensemble, 0);
+        let org = runner.evaluate(&org_ensemble, &organizing, &[MeasureConfig::default()], 0);
+        assert!(
+            results[0].mi.increase() < 0.5 * org[0].mi.increase(),
+            "null control ΔI {} must sit well below cell sorting ΔI {}",
+            results[0].mi.increase(),
+            org[0].mi.increase()
+        );
+    }
+}

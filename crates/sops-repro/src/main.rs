@@ -1,14 +1,25 @@
-//! `repro` — regenerates every figure of Harder & Polani (2012).
+//! `repro` — regenerates every figure of Harder & Polani (2012) and runs
+//! scenario × measure sweeps.
 //!
 //! ```text
 //! repro [--figure figN[,figM…]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]
+//! repro sweep [--scenario a[,b…]] [--measure ksg[,kde…]] [--seeds S1[,S2…]]
+//!             [--fast] [--threads T] [--out DIR] [--no-out] [--list]
 //! ```
 //!
 //! Without `--figure`, all figures run in order. `--fast` switches to the
 //! reduced smoke-scale parameters (seconds instead of minutes). CSV
 //! series land in `--out` (default `results/`).
+//!
+//! The `sweep` subcommand drives the one-pass sweep engine over the
+//! built-in scenario registry: each selected ensemble is simulated once
+//! and every selected measure is evaluated on it in a single pass. It
+//! prints the ΔI grid and writes `sweep.csv` / `sweep.json` to `--out`.
 
+use sops_core::report::{write_sweep_csv, write_sweep_json};
+use sops_core::scenario::{ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner};
 use sops_core::{figures, RunOptions};
+use sops_info::MeasureConfig;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -23,13 +34,30 @@ struct Args {
     list: bool,
 }
 
+const ALL_MEASURES: [&str; 5] = ["ksg", "kde", "binned", "discrete", "gaussian"];
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--figure figN[,figM...]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]\n\
-         figures: {}",
-        ALL_FIGURES.join(", ")
+         \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]]\n\
+         \x20                  [--fast] [--threads T] [--out DIR] [--no-out] [--list]\n\
+         figures:  {}\n\
+         measures: {}",
+        ALL_FIGURES.join(", "),
+        ALL_MEASURES.join(", ")
     );
     std::process::exit(2);
+}
+
+fn parse_measure(name: &str) -> Option<MeasureConfig> {
+    Some(match name {
+        "ksg" => MeasureConfig::default(),
+        "kde" => MeasureConfig::Kde(sops_info::KdeConfig::default()),
+        "binned" => MeasureConfig::Binned(sops_info::BinningConfig::default()),
+        "discrete" => MeasureConfig::DiscretePlugin { bins: 6 },
+        "gaussian" => MeasureConfig::Gaussian,
+        _ => return None,
+    })
 }
 
 fn parse_args() -> Args {
@@ -114,7 +142,169 @@ fn run_figure(name: &str, opts: &RunOptions) {
     }
 }
 
+struct SweepArgs {
+    scenarios: Vec<String>,
+    measures: Vec<String>,
+    seeds: Vec<u64>,
+    fast: bool,
+    threads: usize,
+    out_dir: Option<std::path::PathBuf>,
+    list: bool,
+}
+
+fn parse_sweep_args(argv: &[String]) -> SweepArgs {
+    let mut args = SweepArgs {
+        scenarios: Vec::new(),
+        measures: Vec::new(),
+        seeds: Vec::new(),
+        fast: false,
+        threads: 0,
+        out_dir: Some(std::path::PathBuf::from("results")),
+        list: false,
+    };
+    let csv = |value: &str| -> Vec<String> {
+        value
+            .split(',')
+            .map(|s| s.trim().to_lowercase())
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scenario" | "-s" => {
+                i += 1;
+                args.scenarios
+                    .extend(csv(argv.get(i).unwrap_or_else(|| usage())));
+            }
+            "--measure" | "-m" => {
+                i += 1;
+                args.measures
+                    .extend(csv(argv.get(i).unwrap_or_else(|| usage())));
+            }
+            "--seeds" => {
+                i += 1;
+                for s in csv(argv.get(i).unwrap_or_else(|| usage())) {
+                    args.seeds.push(s.parse().unwrap_or_else(|_| usage()));
+                }
+            }
+            "--fast" => args.fast = true,
+            "--threads" => {
+                i += 1;
+                args.threads = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                args.out_dir = Some(std::path::PathBuf::from(
+                    argv.get(i).unwrap_or_else(|| usage()),
+                ));
+            }
+            "--no-out" => args.out_dir = None,
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Smoke-scale transform for `sweep --fast`: enough samples that every
+/// estimator stays defined (the Gaussian baseline needs more runs than
+/// the joint dimension — 80 for the 40-particle scenarios), a horizon
+/// short enough for seconds-scale runs.
+fn fast_scenario(sc: ScenarioSpec) -> ScenarioSpec {
+    let samples = sc.ensemble.samples.min(100);
+    let t_max = sc.ensemble.t_max.min(40);
+    sc.with_scale(samples, t_max)
+}
+
+fn run_sweep_cmd(argv: &[String]) -> ExitCode {
+    let args = parse_sweep_args(argv);
+    let registry = ScenarioRegistry::builtin();
+    if args.list {
+        for sc in registry.iter() {
+            println!("{:<16} {}", sc.name, sc.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let names: Vec<&str> = if args.scenarios.is_empty() {
+        registry.names()
+    } else {
+        args.scenarios.iter().map(|s| s.as_str()).collect()
+    };
+    let mut scenarios = match registry.select(&names) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.fast {
+        scenarios = scenarios.into_iter().map(fast_scenario).collect();
+    }
+    let measure_names: Vec<String> = if args.measures.is_empty() {
+        ALL_MEASURES.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.measures.clone()
+    };
+    let mut measures = Vec::with_capacity(measure_names.len());
+    for name in &measure_names {
+        match parse_measure(name) {
+            Some(m) => measures.push(m),
+            None => {
+                eprintln!(
+                    "unknown measure '{name}' (known: {})",
+                    ALL_MEASURES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let plan = SweepPlan {
+        scenarios,
+        measures,
+        seeds: args.seeds,
+        threads: args.threads,
+    };
+    println!(
+        "sweep — {} scenario(s) × {} measure(s) × {} seed(s): {} cells over {} ensembles (each simulated once){}",
+        plan.scenarios.len(),
+        plan.measures.len(),
+        plan.seeds.len().max(1),
+        plan.cell_count(),
+        plan.ensemble_count(),
+        if args.fast { ", fast mode" } else { "" }
+    );
+    let t0 = Instant::now();
+    let report = SweepRunner::new().run(&plan);
+    println!("\n{}", report.grid_table());
+    if let Some(dir) = &args.out_dir {
+        let csv_path = dir.join("sweep.csv");
+        let json_path = dir.join("sweep.json");
+        if let Err(e) =
+            write_sweep_csv(&csv_path, &report).and_then(|()| write_sweep_json(&json_path, &report))
+        {
+            eprintln!("failed to write sweep outputs: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} and {}", csv_path.display(), json_path.display());
+    }
+    println!("sweep done in {:.1?}", t0.elapsed());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(|s| s.as_str()) == Some("sweep") {
+        return run_sweep_cmd(&argv[1..]);
+    }
     let args = parse_args();
     if args.list {
         for f in ALL_FIGURES {

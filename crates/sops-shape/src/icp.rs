@@ -200,7 +200,7 @@ pub fn icp_align_with(
             prev_cost = cost;
             // Fit phase: refit from the *original* moving points to the
             // current targets (avoids compounding numerical drift).
-            t = fit_rigid(&mov_c, &targets);
+            t = fit_rigid(mov_c, targets);
         }
         let candidate = IcpResult {
             transform: t,

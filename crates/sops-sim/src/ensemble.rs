@@ -70,8 +70,23 @@ impl Ensemble {
     /// The cross-sample slice at time `t`: `slice[s]` is sample `s`'s
     /// configuration at recorded step `t` — the raw material for the
     /// per-time-step statistics of §5.2.
+    ///
+    /// Allocates a fresh vector per call; loops over many time steps (the
+    /// sweep evaluation pass) should hold a buffer and use
+    /// [`Ensemble::at_time_into`] instead.
     pub fn at_time(&self, t: usize) -> Vec<&[Vec2]> {
-        self.runs.iter().map(|r| r.frames[t].as_slice()).collect()
+        let mut out = Vec::new();
+        self.at_time_into(t, &mut out);
+        out
+    }
+
+    /// Writes the cross-sample slice at time `t` into `out` (cleared
+    /// first), reusing its capacity — the allocation-free form of
+    /// [`Ensemble::at_time`] for callers that visit many time steps with
+    /// one buffer.
+    pub fn at_time_into<'a>(&'a self, t: usize, out: &mut Vec<&'a [Vec2]>) {
+        out.clear();
+        out.extend(self.runs.iter().map(|r| r.frames[t].as_slice()));
     }
 
     /// Fraction of runs that satisfied the equilibrium criterion.
@@ -143,6 +158,22 @@ mod tests {
         assert_eq!(e.particles(), 6);
         assert_eq!(e.at_time(0).len(), 10);
         assert_eq!(e.at_time(15)[3].len(), 6);
+    }
+
+    #[test]
+    fn at_time_into_reuses_capacity_and_matches_at_time() {
+        let e = run_ensemble(&spec(12, 8), 4);
+        let mut buf: Vec<&[sops_math::Vec2]> = Vec::new();
+        e.at_time_into(3, &mut buf);
+        assert_eq!(buf, e.at_time(3));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for t in 0..=8 {
+            e.at_time_into(t, &mut buf);
+            assert_eq!(buf, e.at_time(t));
+        }
+        assert_eq!(buf.capacity(), cap, "no growth across time steps");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation across time steps");
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! * [`info`] — estimators: KSG multi-information (paper Eq. 18–20 and
 //!   the two Kraskov variants), KDE and shrinkage-binning baselines,
 //!   Kozachenko–Leonenko entropy, the Eq. 5 decomposition.
-//! * [`core`] — the end-to-end pipeline and the per-figure reproduction
-//!   generators.
+//! * [`core`] — the end-to-end pipeline, the scenario registry and
+//!   one-pass sweep engine (one ensemble fanned over many measures), and
+//!   the per-figure reproduction generators.
 //! * [`math`], [`spatial`], [`cluster`], [`par`] — numeric, spatial,
 //!   clustering and parallelism substrates.
 //!
@@ -61,10 +62,13 @@ pub use sops_spatial as spatial;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sops_core::{
-        evaluate_ensemble, run_pipeline, MiSeries, ObserverMode, Pipeline, PipelineResult,
-        RunOptions,
+        evaluate_ensemble, run_pipeline, run_sweep, MiSeries, ObserverMode, Pipeline,
+        PipelineResult, RunOptions, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan,
+        SweepReport, SweepRunner,
     };
-    pub use sops_info::{InfoWorkspace, KnnMode, KsgConfig, KsgVariant, SampleView};
+    pub use sops_info::{
+        InfoWorkspace, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace, SampleView,
+    };
     pub use sops_math::{Matrix, PairMatrix, SplitMix64, Vec2};
     pub use sops_shape::{icp_align, IcpConfig, RigidTransform};
     pub use sops_sim::{

@@ -535,7 +535,7 @@ mod tests {
         #[test]
         fn macro_roundtrip(x in 0.0..1.0f64, n in 1..10usize) {
             prop_assume!(n > 0);
-            prop_assert!(x >= 0.0 && x < 1.0);
+            prop_assert!((0.0..1.0).contains(&x));
             prop_assert_eq!(n, n);
             prop_assert_ne!(n, n + 1);
         }
