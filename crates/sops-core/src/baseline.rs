@@ -1,0 +1,745 @@
+//! Persisted ΔI regression baselines: the science gate.
+//!
+//! CI has always diffed *bench times* across PRs; nothing diffed the
+//! *science*. A [`SweepBaseline`] records, for one sweep plan, every
+//! cell's ΔI together with the seed-axis summary statistics
+//! ([`crate::summary::SweepSummary`]), serialized to a
+//! `BASELINE_sweep.json` committed at the repo root. `sops-repro sweep
+//! --save-baseline` writes it; `--check-baseline` re-runs the sweep and
+//! compares:
+//!
+//! * every baseline cell must exist in the fresh report, and its ΔI must
+//!   match within the **measured seed-axis confidence interval** of its
+//!   (scenario, measure) group — the tolerance is the uncertainty the
+//!   seed ensemble itself exhibits, floored at `1e-9` so bit-identical
+//!   reruns always pass even for zero-variance groups;
+//! * every group's mean ΔI must match within the same tolerance, and the
+//!   seed count must agree;
+//! * a fresh cell absent from the baseline fails the check (the plan
+//!   changed — re-save deliberately).
+//!
+//! A refactor that reshuffles floating-point rounding stays green; one
+//! that silently bends the measured organization does not. The JSON is
+//! read back by the dependency-free parser below (the repo emits JSON by
+//! hand everywhere; this is the matching reader, handling exactly the
+//! JSON subset the writers produce plus standard escapes).
+
+use crate::scenario::SweepReport;
+use crate::summary::SweepSummary;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Absolute floor on the per-cell/per-mean tolerance: a zero-variance
+/// group (or an n = 1 "group") still accepts bit-identical reruns.
+pub const TOLERANCE_FLOOR: f64 = 1e-9;
+
+/// One recorded grid cell: coordinates plus the scalar under guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Plan-unique measure label.
+    pub measure: String,
+    /// Master seed of the cell's ensemble.
+    pub seed: u64,
+    /// Recorded ΔI = I(t_last) − I(t_0) in bits.
+    pub delta_mi: f64,
+}
+
+/// One recorded (scenario, measure) seed-axis group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineGroup {
+    /// Scenario name.
+    pub scenario: String,
+    /// Plan-unique measure label.
+    pub measure: String,
+    /// Seed count the statistics were measured over.
+    pub n: usize,
+    /// Mean ΔI over the seed axis.
+    pub mean: f64,
+    /// Half-width of the t confidence interval — the check tolerance.
+    pub ci_half: f64,
+}
+
+/// A persisted sweep baseline: per-cell ΔI plus per-group statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepBaseline {
+    /// Confidence level the group intervals were measured at.
+    pub confidence: f64,
+    /// Recorded cells, in plan order.
+    pub cells: Vec<BaselineCell>,
+    /// Recorded groups, in plan order.
+    pub groups: Vec<BaselineGroup>,
+}
+
+impl SweepBaseline {
+    /// Captures a baseline from a report and its seed-axis summary.
+    pub fn from_sweep(report: &SweepReport, summary: &SweepSummary) -> Self {
+        SweepBaseline {
+            confidence: summary.confidence,
+            cells: report
+                .cells
+                .iter()
+                .map(|c| BaselineCell {
+                    scenario: c.scenario.clone(),
+                    measure: c.measure_label.clone(),
+                    seed: c.seed,
+                    delta_mi: c.result.mi.increase(),
+                })
+                .collect(),
+            groups: summary
+                .groups
+                .iter()
+                .map(|g| BaselineGroup {
+                    scenario: g.scenario.clone(),
+                    measure: g.measure.clone(),
+                    n: g.n(),
+                    mean: g.mean,
+                    ci_half: g.ci.half_width(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the `BASELINE_sweep.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"sops-sweep-baseline/v1\",\n");
+        let _ = writeln!(out, "  \"confidence\": {},", json_float(self.confidence));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, \"delta_mi\": {}}}{}",
+                json_string(&c.scenario),
+                json_string(&c.measure),
+                c.seed,
+                json_float(c.delta_mi),
+                if i + 1 < self.cells.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n  \"groups\": [\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": {}, \"measure\": {}, \"n\": {}, \"mean\": {}, \
+                 \"ci_half\": {}}}{}",
+                json_string(&g.scenario),
+                json_string(&g.measure),
+                g.n,
+                json_float(g.mean),
+                json_float(g.ci_half),
+                if i + 1 < self.groups.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the baseline file (creating parent directories).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a baseline file.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("malformed baseline {}: {e}", path.display()))
+    }
+
+    /// Parses the `sops-sweep-baseline/v1` JSON schema.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = json::parse(text)?;
+        let obj = root.as_object().ok_or("top level must be an object")?;
+        let schema = get(obj, "schema")?
+            .as_str()
+            .ok_or("schema must be a string")?;
+        if schema != "sops-sweep-baseline/v1" {
+            return Err(format!("unsupported schema '{schema}'"));
+        }
+        let confidence = get(obj, "confidence")?
+            .as_f64()
+            .ok_or("confidence must be a number")?;
+        let mut cells = Vec::new();
+        for v in get(obj, "cells")?
+            .as_array()
+            .ok_or("cells must be an array")?
+        {
+            let c = v.as_object().ok_or("cell must be an object")?;
+            cells.push(BaselineCell {
+                scenario: get(c, "scenario")?
+                    .as_str()
+                    .ok_or("cell scenario must be a string")?
+                    .to_string(),
+                measure: get(c, "measure")?
+                    .as_str()
+                    .ok_or("cell measure must be a string")?
+                    .to_string(),
+                seed: get(c, "seed")?.as_u64().ok_or("cell seed must be a u64")?,
+                delta_mi: get(c, "delta_mi")?
+                    .as_f64()
+                    .ok_or("cell delta_mi must be a number or null")?,
+            });
+        }
+        let mut groups = Vec::new();
+        for v in get(obj, "groups")?
+            .as_array()
+            .ok_or("groups must be an array")?
+        {
+            let g = v.as_object().ok_or("group must be an object")?;
+            groups.push(BaselineGroup {
+                scenario: get(g, "scenario")?
+                    .as_str()
+                    .ok_or("group scenario must be a string")?
+                    .to_string(),
+                measure: get(g, "measure")?
+                    .as_str()
+                    .ok_or("group measure must be a string")?
+                    .to_string(),
+                n: get(g, "n")?.as_u64().ok_or("group n must be a u64")? as usize,
+                mean: get(g, "mean")?
+                    .as_f64()
+                    .ok_or("group mean must be a number or null")?,
+                ci_half: get(g, "ci_half")?
+                    .as_f64()
+                    .ok_or("group ci_half must be a number or null")?,
+            });
+        }
+        Ok(SweepBaseline {
+            confidence,
+            cells,
+            groups,
+        })
+    }
+
+    /// Compares a fresh sweep against this baseline. Returns the list of
+    /// violations — empty means the gate passes.
+    ///
+    /// Tolerance per (scenario, measure): the baseline group's stored CI
+    /// half-width (the *measured* seed-axis uncertainty), floored at
+    /// [`TOLERANCE_FLOOR`]. Non-finite recorded values compare by
+    /// bit-class: `NaN` matches `NaN`, `±∞` matches the same infinity.
+    pub fn check(&self, report: &SweepReport, summary: &SweepSummary) -> Vec<String> {
+        let mut violations = Vec::new();
+        let tolerance = |scenario: &str, measure: &str| -> f64 {
+            self.groups
+                .iter()
+                .find(|g| g.scenario == scenario && g.measure == measure)
+                .map(|g| g.ci_half)
+                .unwrap_or(0.0)
+                .max(TOLERANCE_FLOOR)
+        };
+        let within = |now: f64, base: f64, tol: f64| -> bool {
+            if !now.is_finite() || !base.is_finite() {
+                // NaN == NaN, +inf == +inf, -inf == -inf for gate purposes.
+                return now.to_bits() == base.to_bits() || (now.is_nan() && base.is_nan());
+            }
+            (now - base).abs() <= tol
+        };
+        for b in &self.cells {
+            let Some(cell) = report.get(&b.scenario, &b.measure, Some(b.seed)) else {
+                violations.push(format!(
+                    "baseline cell {}/{}#{} missing from this sweep (plan changed? \
+                     re-run --save-baseline)",
+                    b.scenario, b.measure, b.seed
+                ));
+                continue;
+            };
+            let now = cell.result.mi.increase();
+            let tol = tolerance(&b.scenario, &b.measure);
+            if !within(now, b.delta_mi, tol) {
+                violations.push(format!(
+                    "{}/{}#{}: ΔI = {now:.6} drifted from baseline {:.6} \
+                     beyond the seed-axis CI tolerance ±{tol:.6}",
+                    b.scenario, b.measure, b.seed, b.delta_mi
+                ));
+            }
+        }
+        for cell in &report.cells {
+            if !self.cells.iter().any(|b| {
+                b.scenario == cell.scenario
+                    && b.measure == cell.measure_label
+                    && b.seed == cell.seed
+            }) {
+                violations.push(format!(
+                    "cell {}/{}#{} has no baseline entry (plan changed? \
+                     re-run --save-baseline)",
+                    cell.scenario, cell.measure_label, cell.seed
+                ));
+            }
+        }
+        for b in &self.groups {
+            let Some(g) = summary.get(&b.scenario, &b.measure) else {
+                violations.push(format!(
+                    "baseline group {}/{} missing from this summary",
+                    b.scenario, b.measure
+                ));
+                continue;
+            };
+            if g.n() != b.n {
+                violations.push(format!(
+                    "{}/{}: seed count changed {} → {}",
+                    b.scenario,
+                    b.measure,
+                    b.n,
+                    g.n()
+                ));
+            }
+            let tol = tolerance(&b.scenario, &b.measure);
+            if !within(g.mean, b.mean, tol) {
+                violations.push(format!(
+                    "{}/{}: mean ΔI = {:.6} drifted from baseline {:.6} \
+                     beyond the seed-axis CI tolerance ±{tol:.6}",
+                    b.scenario, b.measure, g.mean, b.mean
+                ));
+            }
+        }
+        violations
+    }
+}
+
+fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn json_float(v: f64) -> String {
+    if v.is_finite() {
+        // 17 significant digits round-trip any f64 exactly — the
+        // baseline stores *reference values*, not plot labels.
+        format!("{v:.17e}")
+    } else {
+        // JSON has no non-finite literals; encode as tagged strings the
+        // parser maps back (the sweep writers use null, but a baseline
+        // must distinguish NaN from ±∞ to compare by bit-class).
+        match (v.is_nan(), v > 0.0) {
+            (true, _) => "\"nan\"".into(),
+            (false, true) => "\"inf\"".into(),
+            (false, false) => "\"-inf\"".into(),
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent JSON reader: the subset this workspace's
+/// hand-rolled writers emit (objects, arrays, strings with standard
+/// escapes, f64 numbers, booleans, null), dependency-free like them.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object as an ordered key/value list (duplicate keys kept;
+        /// lookups take the first).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The value as an f64: numbers directly; `null` and the tagged
+        /// strings `"nan"` / `"inf"` / `"-inf"` as their non-finite
+        /// counterparts.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(v) => Some(*v),
+                Value::Null => Some(f64::NAN),
+                Value::Str(s) => match s.as_str() {
+                    "nan" => Some(f64::NAN),
+                    "inf" => Some(f64::INFINITY),
+                    "-inf" => Some(f64::NEG_INFINITY),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+
+        /// The value as an exact non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                    Some(*v as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The value as an object entry list.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else after the value).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected byte at {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                entries.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "invalid \\u escape")?;
+                                // Surrogates are not emitted by our
+                                // writers; reject rather than mangle.
+                                out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid by construction).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8")?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{MiSeries, PipelineResult};
+    use crate::scenario::{SweepCell, SweepReport};
+    use sops_info::MeasureConfig;
+
+    fn report(deltas: &[(&str, u64, f64)]) -> SweepReport {
+        SweepReport {
+            cells: deltas
+                .iter()
+                .map(|&(scenario, seed, delta)| SweepCell {
+                    scenario: scenario.into(),
+                    measure: MeasureConfig::default(),
+                    measure_label: "ksg".into(),
+                    seed,
+                    result: PipelineResult {
+                        mi: MiSeries {
+                            times: vec![0, 10],
+                            values: vec![0.0, delta],
+                        },
+                        mean_icp_cost: vec![0.0, 0.0],
+                        equilibrated_fraction: 1.0,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    fn sweep() -> (SweepReport, SweepSummary) {
+        let r = report(&[
+            ("a", 1, 2.0),
+            ("a", 2, 2.1),
+            ("a", 3, 1.9),
+            ("mixing_null", 1, 0.01),
+            ("mixing_null", 2, -0.02),
+            ("mixing_null", 3, 0.03),
+        ]);
+        let s = SweepSummary::from_report(&r);
+        (r, s)
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let (r, s) = sweep();
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        let parsed = SweepBaseline::parse(&baseline.to_json()).unwrap();
+        assert_eq!(parsed, baseline, "17-digit floats must round-trip");
+    }
+
+    #[test]
+    fn unmodified_sweep_passes_the_gate() {
+        let (r, s) = sweep();
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        assert!(baseline.check(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn perturbation_beyond_ci_fails_the_gate() {
+        let (r, s) = sweep();
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        let tol = baseline.groups[0].ci_half;
+        // Shift one "a" cell's ΔI well past the group CI.
+        let mut bent = r.clone();
+        bent.cells[0].result.mi.values[1] += 3.0 * tol + 0.5;
+        let bent_summary = SweepSummary::from_report(&bent);
+        let violations = baseline.check(&bent, &bent_summary);
+        assert!(
+            violations.iter().any(|v| v.contains("a/ksg#1")),
+            "{violations:?}"
+        );
+        // A drift far inside the CI passes (rounding-level change).
+        let mut nudged = r.clone();
+        nudged.cells[0].result.mi.values[1] += 1e-12;
+        let nudged_summary = SweepSummary::from_report(&nudged);
+        assert!(baseline.check(&nudged, &nudged_summary).is_empty());
+    }
+
+    #[test]
+    fn plan_changes_fail_in_both_directions() {
+        let (r, s) = sweep();
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        // Cell missing from the fresh sweep.
+        let mut smaller = r.clone();
+        smaller.cells.remove(0);
+        let smaller_summary = SweepSummary::from_report(&smaller);
+        let v = baseline.check(&smaller, &smaller_summary);
+        assert!(
+            v.iter().any(|m| m.contains("missing from this sweep")),
+            "{v:?}"
+        );
+        // Extra cell the baseline never recorded.
+        let mut bigger = r.clone();
+        let mut extra = bigger.cells[0].clone();
+        extra.seed = 99;
+        bigger.cells.push(extra);
+        let bigger_summary = SweepSummary::from_report(&bigger);
+        let v = bigger_summary
+            .get("a", "ksg")
+            .map(|_| baseline.check(&bigger, &bigger_summary))
+            .unwrap();
+        assert!(v.iter().any(|m| m.contains("no baseline entry")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("seed count changed")), "{v:?}");
+    }
+
+    #[test]
+    fn non_finite_deltas_compare_by_class() {
+        let r = report(&[("a", 1, f64::NAN), ("a", 2, f64::INFINITY)]);
+        let s = SweepSummary::from_report(&r);
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        let parsed = SweepBaseline::parse(&baseline.to_json()).unwrap();
+        assert!(parsed.cells[0].delta_mi.is_nan());
+        assert_eq!(parsed.cells[1].delta_mi, f64::INFINITY);
+        assert!(
+            parsed.check(&r, &s).is_empty(),
+            "NaN matches NaN, ∞ matches ∞"
+        );
+        // NaN → finite is a violation even though the difference is NaN.
+        let bent = report(&[("a", 1, 0.5), ("a", 2, f64::INFINITY)]);
+        let bent_summary = SweepSummary::from_report(&bent);
+        assert!(!parsed.check(&bent, &bent_summary).is_empty());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = json::parse(r#"{"kA": ["\"x\"", -1.5e3, true, null]}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "kA");
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[0].as_str(), Some("\"x\""));
+        assert_eq!(arr[1].as_f64(), Some(-1500.0));
+        assert_eq!(arr[2], json::Value::Bool(true));
+        assert!(arr[3].as_f64().unwrap().is_nan());
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("{} extra").is_err());
+        assert!(SweepBaseline::parse("{\"schema\": \"other/v9\"}").is_err());
+    }
+}

@@ -20,7 +20,11 @@
 //! evaluation; the `sops-repro` binary drives them and `EXPERIMENTS.md`
 //! records paper-vs-measured outcomes. [`dynamics`] implements the §7.3
 //! future-work proposal: transfer entropy between individual particles.
+//! [`summary`] folds a sweep's seed axis into per-(scenario, measure)
+//! statistics with confidence intervals and significance verdicts, and
+//! [`baseline`] persists those numbers as a CI regression gate.
 
+pub mod baseline;
 pub mod dynamics;
 pub mod figures;
 pub mod metrics;
@@ -28,12 +32,15 @@ pub mod observers;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod summary;
 
+pub use baseline::SweepBaseline;
 pub use observers::ObserverMode;
 pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
 pub use scenario::{
     run_sweep, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan, SweepReport, SweepRunner,
 };
+pub use summary::{SummaryConfig, SummaryGroup, SweepSummary};
 
 /// Options shared by every figure generator.
 #[derive(Debug, Clone)]

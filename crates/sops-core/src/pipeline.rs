@@ -85,7 +85,9 @@ impl MiSeries {
     }
 
     /// Ordinary-least-squares slope of the series in bits per step — a
-    /// robust "is it organizing" statistic used by tests.
+    /// robust "is it organizing" statistic used by tests. Degenerate
+    /// series (empty, single-point, or constant-time) have slope `0.0`,
+    /// matching [`MiSeries::increase`] — not NaN.
     pub fn slope(&self) -> f64 {
         let xs: Vec<f64> = self.times.iter().map(|&t| t as f64).collect();
         sops_math::stats::ols_slope(&xs, &self.values)

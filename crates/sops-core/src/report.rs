@@ -8,6 +8,7 @@
 //! the JSON writer emits by hand, like the vendored criterion shim.
 
 use crate::scenario::SweepReport;
+use crate::summary::SweepSummary;
 use sops_math::Vec2;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -17,7 +18,8 @@ use std::path::Path;
 ///
 /// Creates parent directories as needed. Numbers are written with enough
 /// precision to round-trip (`{:.12e}` would be unreadable; `{:.9}` is
-/// plenty for plotting).
+/// plenty for plotting); non-finite values use the same
+/// `nan`/`inf`/`-inf` spelling as every other CSV writer in this module.
 pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -31,11 +33,7 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Re
             if i > 0 {
                 line.push(',');
             }
-            if v.is_nan() {
-                line.push_str("nan");
-            } else {
-                let _ = write!(line, "{v:.9}");
-            }
+            line.push_str(&csv_float(*v));
         }
         writeln!(out, "{line}")?;
     }
@@ -156,6 +154,108 @@ pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()
     std::fs::write(path, body)
 }
 
+/// Writes a seed-axis summary as CSV: one row per (scenario, measure)
+/// group —
+/// `scenario,measure,n,mean_delta_mi,std_delta_mi,std_error,ci_lo,ci_hi,boot_lo,boot_hi,p_vs_null,significant`.
+/// `significant` is `true`/`false` at the summary's α, empty when no
+/// null comparison exists.
+pub fn write_summary_csv(path: &Path, summary: &SweepSummary) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(
+        out,
+        "scenario,measure,n,mean_delta_mi,std_delta_mi,std_error,ci_lo,ci_hi,boot_lo,boot_hi,\
+         p_vs_null,significant"
+    )?;
+    for g in &summary.groups {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_string(&g.scenario),
+            csv_string(&g.measure),
+            g.n(),
+            csv_float(g.mean),
+            csv_float(g.std),
+            csv_float(g.se),
+            csv_float(g.ci.lo),
+            csv_float(g.ci.hi),
+            csv_float(g.boot.lo),
+            csv_float(g.boot.hi),
+            g.p_vs_null.map(csv_float).unwrap_or_default(),
+            g.significant(summary.alpha)
+                .map(|s| s.to_string())
+                .unwrap_or_default()
+        )?;
+    }
+    out.flush()
+}
+
+/// Writes a seed-axis summary as JSON: the confidence/α/null-scenario
+/// header plus one object per (scenario, measure) group carrying the
+/// per-seed ΔI sample and every aggregate of
+/// [`crate::summary::SummaryGroup`].
+pub fn write_summary_json(path: &Path, summary: &SweepSummary) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::from("{\n");
+    let _ = writeln!(
+        body,
+        "  \"confidence\": {},",
+        json_float(summary.confidence)
+    );
+    let _ = writeln!(body, "  \"alpha\": {},", json_float(summary.alpha));
+    let _ = writeln!(
+        body,
+        "  \"null_scenario\": {},",
+        json_string(&summary.null_scenario)
+    );
+    body.push_str("  \"groups\": [\n");
+    for (i, g) in summary.groups.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    {{\"scenario\": {}, \"measure\": {}, \"n\": {}, \"seeds\": [{}], \
+             \"delta_mi\": [{}], \"mean\": {}, \"std\": {}, \"se\": {}, \
+             \"ci_lo\": {}, \"ci_hi\": {}, \"boot_lo\": {}, \"boot_hi\": {}, \
+             \"p_vs_null\": {}, \"significant\": {}}}{}",
+            json_string(&g.scenario),
+            json_string(&g.measure),
+            g.n(),
+            g.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            g.delta_mis
+                .iter()
+                .map(|&v| json_float(v))
+                .collect::<Vec<_>>()
+                .join(", "),
+            json_float(g.mean),
+            json_float(g.std),
+            json_float(g.se),
+            json_float(g.ci.lo),
+            json_float(g.ci.hi),
+            json_float(g.boot.lo),
+            json_float(g.boot.hi),
+            g.p_vs_null.map(json_float).unwrap_or_else(|| "null".into()),
+            g.significant(summary.alpha)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < summary.groups.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
+}
+
 /// A named data series for [`line_chart`].
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -231,13 +331,14 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
         String::from_iter(&canvas[height - 1])
     );
     let _ = writeln!(out, "{:>10} └{}", "", "─".repeat(width));
-    let _ = writeln!(
-        out,
-        "{:>11}{x_min:<12.2}{:>width$.2}",
-        "",
-        x_max,
-        width = width.saturating_sub(12)
-    );
+    // Axis labels: x_min at the origin, x_max right-aligned to the axis
+    // end, always separated by at least one space — a fixed-width field
+    // pair would jam them together (or misalign x_max) whenever a label
+    // outgrows its field.
+    let lo_label = format!("{x_min:.2}");
+    let hi_label = format!("{x_max:.2}");
+    let gap = width.saturating_sub(lo_label.len() + hi_label.len()).max(1);
+    let _ = writeln!(out, "{:>11}{lo_label}{:gap$}{hi_label}", "", "");
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "    {} {}", GLYPHS[si % GLYPHS.len()], s.label);
     }
@@ -245,7 +346,9 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
 }
 
 /// Renders a typed particle configuration as an ASCII scatter plot; each
-/// particle is drawn as its type digit (types ≥ 10 wrap).
+/// particle is drawn as its type digit (types ≥ 10 wrap). Non-finite
+/// positions are skipped — like [`line_chart`] — rather than cast to a
+/// spurious glyph at the bottom-left corner (`NaN as usize` is `0`).
 pub fn scatter_plot(
     title: &str,
     points: &[Vec2],
@@ -259,16 +362,21 @@ pub fn scatter_plot(
     let mut lo = Vec2::new(f64::INFINITY, f64::INFINITY);
     let mut hi = Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
     for p in points {
-        lo = lo.min(*p);
-        hi = hi.max(*p);
+        if p.is_finite() {
+            lo = lo.min(*p);
+            hi = hi.max(*p);
+        }
     }
-    if points.is_empty() || !lo.is_finite() {
+    if !lo.is_finite() || !hi.is_finite() {
         return format!("{title}\n  (no data)\n");
     }
     let span_x = (hi.x - lo.x).max(1e-9);
     let span_y = (hi.y - lo.y).max(1e-9);
     let mut canvas = vec![vec![' '; width]; height];
     for (p, &t) in points.iter().zip(types) {
+        if !p.is_finite() {
+            continue;
+        }
         let cx = ((p.x - lo.x) / span_x * (width - 1) as f64).round() as usize;
         let cy = ((p.y - lo.y) / span_y * (height - 1) as f64).round() as usize;
         canvas[height - 1 - cy][cx.min(width - 1)] = char::from_digit((t % 10) as u32, 10).unwrap();
@@ -392,6 +500,133 @@ mod tests {
         let plot = scatter_plot("cfg", &pts, &types, 20, 8);
         assert!(plot.contains('0'));
         assert!(plot.contains('3'));
+    }
+
+    #[test]
+    fn scatter_skips_non_finite_points() {
+        // Regression: a NaN point used to cast to canvas cell (0, 0) and
+        // draw a spurious glyph at the bottom-left corner.
+        let pts = [
+            Vec2::new(1.0, 1.0),
+            Vec2::new(f64::NAN, 0.5),
+            Vec2::new(0.5, f64::INFINITY),
+        ];
+        let types = [7u16, 8, 9];
+        let plot = scatter_plot("cfg", &pts, &types, 20, 8);
+        assert!(plot.contains('7'), "{plot}");
+        assert!(!plot.contains('8'), "NaN point must be skipped: {plot}");
+        assert!(
+            !plot.contains('9'),
+            "infinite point must be skipped: {plot}"
+        );
+        // All-non-finite degenerates to the no-data banner, and bounds
+        // ignore non-finite coordinates entirely.
+        let bad = [Vec2::new(f64::NAN, 0.0), Vec2::new(f64::INFINITY, 1.0)];
+        assert!(scatter_plot("cfg", &bad, &[1, 2], 20, 8).contains("no data"));
+        assert!(scatter_plot("cfg", &[], &[], 20, 8).contains("no data"));
+    }
+
+    #[test]
+    fn line_chart_axis_labels_never_collide() {
+        // Regression: the old fixed-width label pair jammed x_max against
+        // (or into) the x_min field once a label outgrew its slot on a
+        // narrow canvas.
+        let s = Series::from_xy("s", &[-1_234_567_890.12, 9_876_543_210.99], &[0.0, 1.0]);
+        let chart = line_chart("narrow", &[s], 8, 4); // clamped to 16 wide
+        let axis_line = chart
+            .lines()
+            .find(|l| l.contains("-1234567890.12"))
+            .expect("x_min label printed in full");
+        assert!(
+            axis_line.contains("-1234567890.12 ") || axis_line.contains(".12 "),
+            "labels must be space-separated: {axis_line}"
+        );
+        assert!(
+            axis_line.contains("9876543210.99"),
+            "x_max label printed in full: {axis_line}"
+        );
+        let lo_end = axis_line.find("-1234567890.12").unwrap() + "-1234567890.12".len();
+        let hi_start = axis_line.find("9876543210.99").unwrap();
+        assert!(
+            hi_start > lo_end && axis_line[lo_end..hi_start].chars().all(|c| c == ' '),
+            "at least one space between the axis labels: {axis_line}"
+        );
+    }
+
+    #[test]
+    fn write_csv_spells_non_finite_like_the_sweep_writer() {
+        let dir = std::env::temp_dir().join("sops_report_inf_test");
+        let path = dir.join("inf.csv");
+        write_csv(
+            &path,
+            &["a", "b", "c"],
+            &[vec![f64::INFINITY, f64::NEG_INFINITY, f64::NAN]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().nth(1), Some("inf,-inf,nan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_writers_round_trip() {
+        use crate::pipeline::{MiSeries, PipelineResult};
+        use crate::scenario::{SweepCell, SweepReport};
+        use crate::summary::SweepSummary;
+        use sops_info::MeasureConfig;
+        let mk = |scenario: &str, seed: u64, delta: f64| SweepCell {
+            scenario: scenario.into(),
+            measure: MeasureConfig::default(),
+            measure_label: "ksg".into(),
+            seed,
+            result: PipelineResult {
+                mi: MiSeries {
+                    times: vec![0, 10],
+                    values: vec![0.0, delta],
+                },
+                mean_icp_cost: vec![0.0, 0.0],
+                equilibrated_fraction: 1.0,
+            },
+        };
+        let report = SweepReport {
+            cells: vec![
+                mk("rise", 1, 2.0),
+                mk("rise", 2, 2.2),
+                mk("rise", 3, 1.8),
+                mk("rise", 4, 2.1),
+                mk("rise", 5, 1.9),
+                mk("rise", 6, 2.05),
+                mk("mixing_null", 1, 0.02),
+                mk("mixing_null", 2, -0.01),
+                mk("mixing_null", 3, 0.01),
+                mk("mixing_null", 4, -0.02),
+                mk("mixing_null", 5, 0.005),
+                mk("mixing_null", 6, 0.015),
+            ],
+        };
+        let summary = SweepSummary::from_report(&report);
+        let dir = std::env::temp_dir().join("sops_summary_writers_test");
+        let csv_path = dir.join("sweep_summary.csv");
+        let json_path = dir.join("sweep_summary.json");
+        write_summary_csv(&csv_path, &summary).unwrap();
+        write_summary_json(&json_path, &summary).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("scenario,measure,n,mean_delta_mi"), "{csv}");
+        assert_eq!(csv.lines().count(), 1 + 2, "one row per group");
+        let rise_row = csv.lines().find(|l| l.starts_with("rise,")).unwrap();
+        assert!(rise_row.contains(",6,"), "n column: {rise_row}");
+        assert!(rise_row.ends_with(",true"), "verdict column: {rise_row}");
+        let null_row = csv.lines().find(|l| l.starts_with("mixing_null,")).unwrap();
+        assert!(null_row.ends_with(",false"), "{null_row}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(
+            json.contains("\"null_scenario\": \"mixing_null\""),
+            "{json}"
+        );
+        assert!(json.contains("\"seeds\": [1, 2, 3, 4, 5, 6]"), "{json}");
+        assert!(json.contains("\"significant\": true"), "{json}");
+        assert!(json.contains("\"significant\": false"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

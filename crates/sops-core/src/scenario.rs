@@ -316,11 +316,34 @@ impl SweepPlan {
     }
 
     /// Validates the grid; called by [`SweepRunner::run`].
+    ///
+    /// Rejects duplicate (scenario-name, seed) cells — a duplicate entry
+    /// in [`SweepPlan::seeds`], or two scenarios sharing a name, would
+    /// otherwise produce indistinguishable grid cells that
+    /// [`SweepReport::get`] and [`SweepReport::grid_table`] silently
+    /// resolve to the first match.
     pub fn validate(&self) {
         assert!(!self.scenarios.is_empty(), "SweepPlan: no scenarios");
         assert!(!self.measures.is_empty(), "SweepPlan: no measures");
+        let mut seen: Vec<(&str, u64)> = Vec::with_capacity(self.ensemble_count());
         for s in &self.scenarios {
             assert!(!s.name.is_empty(), "SweepPlan: unnamed scenario");
+            let own_seed = [s.ensemble.seed];
+            let seeds: &[u64] = if self.seeds.is_empty() {
+                &own_seed
+            } else {
+                &self.seeds
+            };
+            for &seed in seeds {
+                let cell = (s.name.as_str(), seed);
+                assert!(
+                    !seen.contains(&cell),
+                    "SweepPlan: duplicate grid cell {}#{seed} (duplicate seed in the \
+                     seed axis, or two scenarios sharing a name)",
+                    s.name
+                );
+                seen.push(cell);
+            }
         }
     }
 
@@ -782,6 +805,39 @@ mod tests {
     #[should_panic(expected = "no measures")]
     fn empty_measure_axis_rejected() {
         run_sweep(&SweepPlan::new(vec![small_scenario("a", 1)], vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate grid cell a#7")]
+    fn duplicate_seeds_rejected() {
+        let mut plan = SweepPlan::new(vec![small_scenario("a", 1)], vec![MeasureConfig::Gaussian]);
+        plan.seeds = vec![7, 8, 7];
+        plan.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate grid cell a#3")]
+    fn duplicate_scenario_names_rejected() {
+        let mut plan = SweepPlan::new(
+            // Same name twice: under a shared seed axis every cell
+            // coordinate collides.
+            vec![small_scenario("a", 1), small_scenario("a", 2)],
+            vec![MeasureConfig::Gaussian],
+        );
+        plan.seeds = vec![3];
+        plan.validate();
+    }
+
+    #[test]
+    fn same_name_distinct_own_seeds_allowed() {
+        // Without a seed axis, same-named scenarios with different own
+        // seeds occupy distinct (name, seed) cells — addressable via
+        // `get(..., Some(seed))` — so they are legal.
+        let plan = SweepPlan::new(
+            vec![small_scenario("a", 1), small_scenario("a", 2)],
+            vec![MeasureConfig::Gaussian],
+        );
+        plan.validate();
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! repro [--figure figN[,figM…]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]
-//! repro sweep [--scenario a[,b…]] [--measure ksg[,kde…]] [--seeds S1[,S2…]]
+//! repro sweep [--scenario a[,b…]] [--measure ksg[,kde…]] [--seeds S1[,S2…]|A..B]
 //!             [--fast] [--threads T] [--out DIR] [--no-out] [--list]
+//!             [--save-baseline] [--check-baseline] [--baseline PATH]
 //! ```
 //!
 //! Without `--figure`, all figures run in order. `--fast` switches to the
@@ -15,10 +16,18 @@
 //! built-in scenario registry: each selected ensemble is simulated once
 //! and every selected measure is evaluated on it in a single pass. It
 //! prints the ΔI grid and writes `sweep.csv` / `sweep.json` to `--out`.
+//! `--seeds` accepts comma lists and inclusive ranges (`1..8` ≡ `1..=8`
+//! ≡ seeds 1–8). Multi-seed sweeps additionally print the seed-axis
+//! summary grid (`mean ± CI`, significance vs `mixing_null`) and write
+//! `sweep_summary.csv` / `sweep_summary.json`. `--save-baseline`
+//! persists per-cell ΔI and per-group statistics to the baseline file
+//! (default `BASELINE_sweep.json`); `--check-baseline` re-reads it and
+//! exits non-zero if any ΔI moved outside the stored seed-axis
+//! confidence interval — the CI regression gate.
 
-use sops_core::report::{write_sweep_csv, write_sweep_json};
+use sops_core::report::{write_summary_csv, write_summary_json, write_sweep_csv, write_sweep_json};
 use sops_core::scenario::{ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner};
-use sops_core::{figures, RunOptions};
+use sops_core::{figures, RunOptions, SweepBaseline, SweepSummary};
 use sops_info::MeasureConfig;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -39,8 +48,10 @@ const ALL_MEASURES: [&str; 5] = ["ksg", "kde", "binned", "discrete", "gaussian"]
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--figure figN[,figM...]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]\n\
-         \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]]\n\
+         \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]|A..B]\n\
          \x20                  [--fast] [--threads T] [--out DIR] [--no-out] [--list]\n\
+         \x20                  [--save-baseline] [--check-baseline] [--baseline PATH]\n\
+         \x20      --seeds accepts inclusive ranges: 1..8 and 1..=8 both mean seeds 1-8\n\
          figures:  {}\n\
          measures: {}",
         ALL_FIGURES.join(", "),
@@ -150,6 +161,27 @@ struct SweepArgs {
     threads: usize,
     out_dir: Option<std::path::PathBuf>,
     list: bool,
+    save_baseline: bool,
+    check_baseline: bool,
+    baseline_path: std::path::PathBuf,
+}
+
+/// One `--seeds` element: a plain seed (`7`) or an inclusive range
+/// (`1..8` or `1..=8`, both meaning seeds 1, 2, …, 8).
+fn parse_seed_spec(spec: &str, out: &mut Vec<u64>) -> Result<(), String> {
+    let bad = || format!("bad seed spec '{spec}' (expected N, A..B or A..=B)");
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let hi = hi.strip_prefix('=').unwrap_or(hi);
+        let lo: u64 = lo.trim().parse().map_err(|_| bad())?;
+        let hi: u64 = hi.trim().parse().map_err(|_| bad())?;
+        if lo > hi {
+            return Err(format!("empty seed range '{spec}' ({lo} > {hi})"));
+        }
+        out.extend(lo..=hi);
+    } else {
+        out.push(spec.trim().parse().map_err(|_| bad())?);
+    }
+    Ok(())
 }
 
 fn parse_sweep_args(argv: &[String]) -> SweepArgs {
@@ -161,6 +193,9 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
         threads: 0,
         out_dir: Some(std::path::PathBuf::from("results")),
         list: false,
+        save_baseline: false,
+        check_baseline: false,
+        baseline_path: std::path::PathBuf::from("BASELINE_sweep.json"),
     };
     let csv = |value: &str| -> Vec<String> {
         value
@@ -185,7 +220,10 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
             "--seeds" => {
                 i += 1;
                 for s in csv(argv.get(i).unwrap_or_else(|| usage())) {
-                    args.seeds.push(s.parse().unwrap_or_else(|_| usage()));
+                    if let Err(e) = parse_seed_spec(&s, &mut args.seeds) {
+                        eprintln!("{e}");
+                        usage();
+                    }
                 }
             }
             "--fast" => args.fast = true,
@@ -204,6 +242,13 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
             }
             "--no-out" => args.out_dir = None,
             "--list" => args.list = true,
+            "--save-baseline" => args.save_baseline = true,
+            "--check-baseline" => args.check_baseline = true,
+            "--baseline" => {
+                i += 1;
+                args.baseline_path =
+                    std::path::PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -285,16 +330,72 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
     let t0 = Instant::now();
     let report = SweepRunner::new().run(&plan);
     println!("\n{}", report.grid_table());
+    let summary = SweepSummary::from_report(&report);
+    if plan.seeds.len() > 1 {
+        println!("{}", summary.grid_table());
+    }
     if let Some(dir) = &args.out_dir {
         let csv_path = dir.join("sweep.csv");
         let json_path = dir.join("sweep.json");
-        if let Err(e) =
-            write_sweep_csv(&csv_path, &report).and_then(|()| write_sweep_json(&json_path, &report))
+        let sum_csv = dir.join("sweep_summary.csv");
+        let sum_json = dir.join("sweep_summary.json");
+        if let Err(e) = write_sweep_csv(&csv_path, &report)
+            .and_then(|()| write_sweep_json(&json_path, &report))
+            .and_then(|()| write_summary_csv(&sum_csv, &summary))
+            .and_then(|()| write_summary_json(&sum_json, &summary))
         {
             eprintln!("failed to write sweep outputs: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {} and {}", csv_path.display(), json_path.display());
+        println!(
+            "wrote {}, {}, {} and {}",
+            csv_path.display(),
+            json_path.display(),
+            sum_csv.display(),
+            sum_json.display()
+        );
+    }
+    if args.save_baseline {
+        let baseline = SweepBaseline::from_sweep(&report, &summary);
+        if let Err(e) = baseline.write(&args.baseline_path) {
+            eprintln!("failed to write baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "saved baseline ({} cells, {} groups) to {}",
+            baseline.cells.len(),
+            baseline.groups.len(),
+            args.baseline_path.display()
+        );
+    }
+    if args.check_baseline {
+        let baseline = match SweepBaseline::read(&args.baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "failed to read baseline {}: {e}",
+                    args.baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = baseline.check(&report, &summary);
+        if violations.is_empty() {
+            println!(
+                "baseline check passed: every ΔI within the stored seed-axis CI ({})",
+                args.baseline_path.display()
+            );
+        } else {
+            eprintln!(
+                "baseline check FAILED against {} ({} violation(s)):",
+                args.baseline_path.display(),
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     println!("sweep done in {:.1?}", t0.elapsed());
     ExitCode::SUCCESS

@@ -63,8 +63,8 @@ pub use sops_spatial as spatial;
 pub mod prelude {
     pub use sops_core::{
         evaluate_ensemble, run_pipeline, run_sweep, MiSeries, ObserverMode, Pipeline,
-        PipelineResult, RunOptions, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan,
-        SweepReport, SweepRunner,
+        PipelineResult, RunOptions, ScenarioRegistry, ScenarioSpec, SummaryConfig, SweepBaseline,
+        SweepCell, SweepPlan, SweepReport, SweepRunner, SweepSummary,
     };
     pub use sops_info::{
         InfoWorkspace, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace, SampleView,

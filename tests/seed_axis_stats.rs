@@ -1,0 +1,175 @@
+//! Contracts of the seed-axis statistics layer (`sops_core::summary`,
+//! `sops_core::baseline`) on real sweeps:
+//!
+//! * the `SweepSummary` built from a multi-seed sweep is **bit-identical**
+//!   for evaluation worker counts 1 and 8 — every aggregate (mean, std,
+//!   SE, t-CI, bootstrap CI, permutation p) is deterministic;
+//! * at smoke scale, `cell_sorting` is significant against the
+//!   `mixing_null` control and the control is not significant against
+//!   itself (p = 1 by construction);
+//! * the baseline gate round-trips: save → check passes on the unmodified
+//!   tree, a ΔI perturbed beyond the stored seed-axis CI fails;
+//! * the satellite fixes stay fixed at the public-API level: degenerate
+//!   `MiSeries::slope` is 0 (not NaN) and duplicate sweep grid cells are
+//!   rejected.
+
+use sops::prelude::*;
+
+/// Builtin scenarios at smoke scale over a shared seed axis, KSG only.
+fn smoke_plan(seeds: Vec<u64>, threads: usize) -> SweepPlan {
+    let registry = ScenarioRegistry::builtin();
+    let scenarios: Vec<ScenarioSpec> = registry
+        .select(&["cell_sorting", "mixing_null"])
+        .unwrap()
+        .into_iter()
+        .map(|sc| sc.with_scale(60, 20))
+        .collect();
+    SweepPlan {
+        scenarios,
+        measures: vec![MeasureConfig::default()],
+        seeds,
+        threads,
+    }
+}
+
+#[test]
+fn summary_is_bit_identical_across_worker_counts() {
+    let mut summaries = Vec::new();
+    let mut baselines = Vec::new();
+    for threads in [1usize, 8] {
+        let plan = smoke_plan(vec![1, 2, 3, 4], threads);
+        let report = run_sweep(&plan);
+        let summary = SweepSummary::from_report(&report);
+        baselines.push(SweepBaseline::from_sweep(&report, &summary).to_json());
+        summaries.push(summary);
+    }
+    let (a, b) = (&summaries[0], &summaries[1]);
+    assert_eq!(a.groups.len(), b.groups.len());
+    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(ga.scenario, gb.scenario);
+        assert_eq!(ga.measure, gb.measure);
+        assert_eq!(ga.seeds, gb.seeds);
+        for (x, y) in [
+            (ga.mean, gb.mean),
+            (ga.std, gb.std),
+            (ga.se, gb.se),
+            (ga.ci.lo, gb.ci.lo),
+            (ga.ci.hi, gb.ci.hi),
+            (ga.boot.lo, gb.boot.lo),
+            (ga.boot.hi, gb.boot.hi),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{}/{}: threads 1 vs 8 diverged ({x} vs {y})",
+                ga.scenario,
+                ga.measure
+            );
+        }
+        assert_eq!(
+            ga.p_vs_null.map(f64::to_bits),
+            gb.p_vs_null.map(f64::to_bits),
+            "{}/{}: permutation p diverged",
+            ga.scenario,
+            ga.measure
+        );
+    }
+    // The serialized baseline — the artifact the CI gate compares — is
+    // byte-identical too.
+    assert_eq!(baselines[0], baselines[1]);
+}
+
+#[test]
+fn cell_sorting_is_significant_and_the_null_is_not() {
+    let plan = smoke_plan(vec![1, 2, 3, 4, 5, 6], 0);
+    let report = run_sweep(&plan);
+    let summary = SweepSummary::from_report(&report);
+
+    let sorting = summary.get("cell_sorting", "ksg").unwrap();
+    let null = summary.get("mixing_null", "ksg").unwrap();
+    assert_eq!(sorting.n(), 6);
+    assert!(
+        sorting.mean > 1.0,
+        "cell sorting must organize on average: ΔI = {}",
+        sorting.mean
+    );
+    // The CI is a genuine interval around the mean at this scale.
+    assert!(sorting.ci.contains(sorting.mean));
+    assert!(sorting.ci.half_width() > 0.0);
+    assert_eq!(
+        sorting.significant(summary.alpha),
+        Some(true),
+        "cell_sorting vs mixing_null: p = {:?}",
+        sorting.p_vs_null
+    );
+    // The null scenario is compared against itself: p = 1 exactly, never
+    // significant.
+    assert_eq!(null.p_vs_null, Some(1.0));
+    assert_eq!(null.significant(summary.alpha), Some(false));
+    // The grid renders both verdicts.
+    let grid = summary.grid_table();
+    assert!(grid.contains('*'), "{grid}");
+    assert!(grid.contains("mixing_null"), "{grid}");
+}
+
+#[test]
+fn baseline_round_trips_and_gates_drift() {
+    let plan = smoke_plan(vec![1, 2, 3, 4], 0);
+    let report = run_sweep(&plan);
+    let summary = SweepSummary::from_report(&report);
+    let baseline = SweepBaseline::from_sweep(&report, &summary);
+
+    // Save → read → check on the unmodified tree passes.
+    let dir = std::env::temp_dir().join("sops_seed_axis_baseline_test");
+    let path = dir.join("BASELINE_sweep.json");
+    baseline.write(&path).unwrap();
+    let read_back = SweepBaseline::read(&path).unwrap();
+    assert_eq!(read_back.to_json(), baseline.to_json());
+    assert!(read_back.check(&report, &summary).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A ΔI perturbed beyond the stored seed-axis CI fails the gate.
+    let mut drifted = read_back.clone();
+    let cell = drifted
+        .cells
+        .iter_mut()
+        .find(|c| c.scenario == "cell_sorting")
+        .unwrap();
+    let tolerance = drifted
+        .groups
+        .iter()
+        .find(|g| g.scenario == "cell_sorting")
+        .unwrap()
+        .ci_half;
+    cell.delta_mi += 10.0 * tolerance.max(1e-3);
+    let violations = drifted.check(&report, &summary);
+    assert!(
+        violations.iter().any(|v| v.contains("cell_sorting")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn degenerate_mi_series_slope_is_zero() {
+    // Regression: a single recorded step used to yield slope = NaN.
+    let single = MiSeries {
+        times: vec![5],
+        values: vec![1.25],
+    };
+    assert_eq!(single.slope(), 0.0);
+    assert_eq!(single.increase(), 0.0);
+    let empty = MiSeries {
+        times: vec![],
+        values: vec![],
+    };
+    assert_eq!(empty.slope(), 0.0);
+}
+
+#[test]
+#[should_panic(expected = "duplicate grid cell")]
+fn duplicate_seed_axis_cells_are_rejected() {
+    // Regression: a duplicated seed used to silently run the same grid
+    // cell twice (skewing any per-(scenario, measure) aggregate).
+    let plan = smoke_plan(vec![1, 2, 1], 0);
+    run_sweep(&plan);
+}
