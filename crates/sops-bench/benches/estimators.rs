@@ -297,7 +297,7 @@ fn bench_sweep(c: &mut Criterion) {
     };
     let mut runner = SweepRunner::new();
     group.bench_function("grid3x4/one_pass", |b| {
-        b.iter(|| runner.run(black_box(&plan)))
+        b.iter(|| runner.run(black_box(&plan)).expect("valid plan"))
     });
     group.bench_function("grid3x4/n_pass", |b| {
         b.iter(|| {

@@ -20,14 +20,26 @@
 //!
 //! A refactor that reshuffles floating-point rounding stays green; one
 //! that silently bends the measured organization does not. The JSON is
-//! read back by the dependency-free parser below (the repo emits JSON by
-//! hand everywhere; this is the matching reader, handling exactly the
-//! JSON subset the writers produce plus standard escapes).
+//! written and read back through the shared [`crate::wire`] machinery
+//! (the repo emits JSON by hand everywhere; `wire` is the matching
+//! reader, handling exactly the subset the writers produce plus standard
+//! escapes), so the baseline and checkpoint schemas can never drift
+//! apart in their float/string encodings.
+//!
+//! Quarantined cells ([`crate::scenario::CellStatus::Failed`]) never
+//! enter a baseline — [`SweepBaseline::from_sweep`] records only healthy
+//! cells — and a baselined cell that *fails* in a fresh sweep is an
+//! explicit gate violation, not a silent skip.
 
+use crate::error::SweepError;
 use crate::scenario::SweepReport;
 use crate::summary::SweepSummary;
+use crate::wire;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Schema tag of the baseline wire format.
+pub const SCHEMA: &str = "sops-sweep-baseline/v1";
 
 /// Absolute floor on the per-cell/per-mean tolerance: a zero-variance
 /// group (or an n = 1 "group") still accepts bit-identical reruns.
@@ -74,12 +86,15 @@ pub struct SweepBaseline {
 
 impl SweepBaseline {
     /// Captures a baseline from a report and its seed-axis summary.
+    /// Quarantined cells are excluded — a baseline only ever records
+    /// measured values.
     pub fn from_sweep(report: &SweepReport, summary: &SweepSummary) -> Self {
         SweepBaseline {
             confidence: summary.confidence,
             cells: report
                 .cells
                 .iter()
+                .filter(|c| c.status.is_ok())
                 .map(|c| BaselineCell {
                     scenario: c.scenario.clone(),
                     measure: c.measure_label.clone(),
@@ -103,17 +118,21 @@ impl SweepBaseline {
 
     /// Serializes to the `BASELINE_sweep.json` schema.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"sops-sweep-baseline/v1\",\n");
-        let _ = writeln!(out, "  \"confidence\": {},", json_float(self.confidence));
+        let mut out = format!("{{\n  \"schema\": {},\n", wire::string(SCHEMA));
+        let _ = writeln!(
+            out,
+            "  \"confidence\": {},",
+            wire::float_exact(self.confidence)
+        );
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, \"delta_mi\": {}}}{}",
-                json_string(&c.scenario),
-                json_string(&c.measure),
+                wire::string(&c.scenario),
+                wire::string(&c.measure),
                 c.seed,
-                json_float(c.delta_mi),
+                wire::float_exact(c.delta_mi),
                 if i + 1 < self.cells.len() { "," } else { "" }
             );
         }
@@ -123,11 +142,11 @@ impl SweepBaseline {
                 out,
                 "    {{\"scenario\": {}, \"measure\": {}, \"n\": {}, \"mean\": {}, \
                  \"ci_half\": {}}}{}",
-                json_string(&g.scenario),
-                json_string(&g.measure),
+                wire::string(&g.scenario),
+                wire::string(&g.measure),
                 g.n,
-                json_float(g.mean),
-                json_float(g.ci_half),
+                wire::float_exact(g.mean),
+                wire::float_exact(g.ci_half),
                 if i + 1 < self.groups.len() { "," } else { "" }
             );
         }
@@ -136,74 +155,110 @@ impl SweepBaseline {
     }
 
     /// Writes the baseline file (creating parent directories).
-    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+    pub fn write(&self, path: &Path) -> Result<(), SweepError> {
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|source| SweepError::Io {
+                    path: parent.to_path_buf(),
+                    op: "create directory",
+                    source,
+                })?;
+            }
         }
-        std::fs::write(path, self.to_json())
+        std::fs::write(path, self.to_json()).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            op: "write",
+            source,
+        })
     }
 
     /// Reads a baseline file.
-    pub fn read(path: &Path) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
-        Self::parse(&text).map_err(|e| format!("malformed baseline {}: {e}", path.display()))
+    pub fn read(path: &Path) -> Result<Self, SweepError> {
+        let text = std::fs::read_to_string(path).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            op: "read",
+            source,
+        })?;
+        Self::parse(&text).map_err(|e| match e {
+            SweepError::Parse { detail, .. } => SweepError::Parse {
+                what: format!("baseline {}", path.display()),
+                detail,
+            },
+            other => other,
+        })
     }
 
-    /// Parses the `sops-sweep-baseline/v1` JSON schema.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let root = json::parse(text)?;
+    /// Parses the `sops-sweep-baseline/v1` JSON schema. A torn or
+    /// hand-edited file is [`SweepError::Parse`]; an unknown schema tag
+    /// is [`SweepError::SchemaMismatch`].
+    pub fn parse(text: &str) -> Result<Self, SweepError> {
+        Self::parse_inner(text).map_err(|e| match e {
+            BaselineParseError::Detail(detail) => SweepError::Parse {
+                what: "baseline".into(),
+                detail,
+            },
+            BaselineParseError::Typed(typed) => typed,
+        })
+    }
+
+    fn parse_inner(text: &str) -> Result<Self, BaselineParseError> {
+        let root = wire::parse(text)?;
         let obj = root.as_object().ok_or("top level must be an object")?;
-        let schema = get(obj, "schema")?
+        let schema = wire::get(obj, "schema")?
             .as_str()
             .ok_or("schema must be a string")?;
-        if schema != "sops-sweep-baseline/v1" {
-            return Err(format!("unsupported schema '{schema}'"));
+        if schema != SCHEMA {
+            return Err(BaselineParseError::Typed(SweepError::SchemaMismatch {
+                expected: SCHEMA.into(),
+                found: schema.into(),
+            }));
         }
-        let confidence = get(obj, "confidence")?
+        let confidence = wire::get(obj, "confidence")?
             .as_f64()
             .ok_or("confidence must be a number")?;
         let mut cells = Vec::new();
-        for v in get(obj, "cells")?
+        for v in wire::get(obj, "cells")?
             .as_array()
             .ok_or("cells must be an array")?
         {
             let c = v.as_object().ok_or("cell must be an object")?;
             cells.push(BaselineCell {
-                scenario: get(c, "scenario")?
+                scenario: wire::get(c, "scenario")?
                     .as_str()
                     .ok_or("cell scenario must be a string")?
                     .to_string(),
-                measure: get(c, "measure")?
+                measure: wire::get(c, "measure")?
                     .as_str()
                     .ok_or("cell measure must be a string")?
                     .to_string(),
-                seed: get(c, "seed")?.as_u64().ok_or("cell seed must be a u64")?,
-                delta_mi: get(c, "delta_mi")?
+                seed: wire::get(c, "seed")?
+                    .as_u64()
+                    .ok_or("cell seed must be a u64")?,
+                delta_mi: wire::get(c, "delta_mi")?
                     .as_f64()
                     .ok_or("cell delta_mi must be a number or null")?,
             });
         }
         let mut groups = Vec::new();
-        for v in get(obj, "groups")?
+        for v in wire::get(obj, "groups")?
             .as_array()
             .ok_or("groups must be an array")?
         {
             let g = v.as_object().ok_or("group must be an object")?;
             groups.push(BaselineGroup {
-                scenario: get(g, "scenario")?
+                scenario: wire::get(g, "scenario")?
                     .as_str()
                     .ok_or("group scenario must be a string")?
                     .to_string(),
-                measure: get(g, "measure")?
+                measure: wire::get(g, "measure")?
                     .as_str()
                     .ok_or("group measure must be a string")?
                     .to_string(),
-                n: get(g, "n")?.as_u64().ok_or("group n must be a u64")? as usize,
-                mean: get(g, "mean")?
+                n: wire::get(g, "n")?.as_u64().ok_or("group n must be a u64")? as usize,
+                mean: wire::get(g, "mean")?
                     .as_f64()
                     .ok_or("group mean must be a number or null")?,
-                ci_half: get(g, "ci_half")?
+                ci_half: wire::get(g, "ci_half")?
                     .as_f64()
                     .ok_or("group ci_half must be a number or null")?,
             });
@@ -248,6 +303,13 @@ impl SweepBaseline {
                 ));
                 continue;
             };
+            if let crate::scenario::CellStatus::Failed { reason } = &cell.status {
+                violations.push(format!(
+                    "baseline cell {}/{}#{} failed in this sweep: {reason}",
+                    b.scenario, b.measure, b.seed
+                ));
+                continue;
+            }
             let now = cell.result.mi.increase();
             let tol = tolerance(&b.scenario, &b.measure);
             if !within(now, b.delta_mi, tol) {
@@ -258,7 +320,7 @@ impl SweepBaseline {
                 ));
             }
         }
-        for cell in &report.cells {
+        for cell in report.cells.iter().filter(|c| c.status.is_ok()) {
             if !self.cells.iter().any(|b| {
                 b.scenario == cell.scenario
                     && b.measure == cell.measure_label
@@ -301,306 +363,24 @@ impl SweepBaseline {
     }
 }
 
-fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing key '{key}'"))
+/// Internal parse-stage error: plain detail strings (wrapped as
+/// [`SweepError::Parse`] by [`SweepBaseline::parse`]) or an
+/// already-typed error that must pass through unchanged
+/// (schema mismatches).
+enum BaselineParseError {
+    Detail(String),
+    Typed(SweepError),
 }
 
-fn json_float(v: f64) -> String {
-    if v.is_finite() {
-        // 17 significant digits round-trip any f64 exactly — the
-        // baseline stores *reference values*, not plot labels.
-        format!("{v:.17e}")
-    } else {
-        // JSON has no non-finite literals; encode as tagged strings the
-        // parser maps back (the sweep writers use null, but a baseline
-        // must distinguish NaN from ±∞ to compare by bit-class).
-        match (v.is_nan(), v > 0.0) {
-            (true, _) => "\"nan\"".into(),
-            (false, true) => "\"inf\"".into(),
-            (false, false) => "\"-inf\"".into(),
-        }
+impl From<String> for BaselineParseError {
+    fn from(detail: String) -> Self {
+        BaselineParseError::Detail(detail)
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal recursive-descent JSON reader: the subset this workspace's
-/// hand-rolled writers emit (objects, arrays, strings with standard
-/// escapes, f64 numbers, booleans, null), dependency-free like them.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any JSON number (parsed as `f64`).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object as an ordered key/value list (duplicate keys kept;
-        /// lookups take the first).
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// The value as an f64: numbers directly; `null` and the tagged
-        /// strings `"nan"` / `"inf"` / `"-inf"` as their non-finite
-        /// counterparts.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(v) => Some(*v),
-                Value::Null => Some(f64::NAN),
-                Value::Str(s) => match s.as_str() {
-                    "nan" => Some(f64::NAN),
-                    "inf" => Some(f64::INFINITY),
-                    "-inf" => Some(f64::NEG_INFINITY),
-                    _ => None,
-                },
-                _ => None,
-            }
-        }
-
-        /// The value as an exact non-negative integer.
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
-                    Some(*v as u64)
-                }
-                _ => None,
-            }
-        }
-
-        /// The value as a string slice.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The value as an array slice.
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-
-        /// The value as an object entry list.
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(v) => Some(v),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses one JSON document (trailing whitespace allowed, nothing
-    /// else after the value).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while let Some(b) = self.bytes.get(self.pos) {
-                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                    self.pos += 1;
-                } else {
-                    break;
-                }
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected '{}' at byte {}", b as char, self.pos))
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(value)
-            } else {
-                Err(format!("invalid literal at byte {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::Str(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                _ => Err(format!("unexpected byte at {}", self.pos)),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut entries = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(entries));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                entries.push((key, self.value()?));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(entries));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err("unterminated string".into()),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'b') => out.push('\u{8}'),
-                            Some(b'f') => out.push('\u{c}'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(
-                                    std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?,
-                                    16,
-                                )
-                                .map_err(|_| "invalid \\u escape")?;
-                                // Surrogates are not emitted by our
-                                // writers; reject rather than mangle.
-                                out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
-                                self.pos += 4;
-                            }
-                            _ => return Err(format!("bad escape at byte {}", self.pos)),
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar (input is a &str, so
-                        // boundaries are valid by construction).
-                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                            .map_err(|_| "invalid UTF-8")?;
-                        let c = rest.chars().next().unwrap();
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            while let Some(b) = self.peek() {
-                if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-                    self.pos += 1;
-                } else {
-                    break;
-                }
-            }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-            text.parse::<f64>()
-                .map(Value::Num)
-                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
-        }
+impl From<&str> for BaselineParseError {
+    fn from(detail: &str) -> Self {
+        BaselineParseError::Detail(detail.to_string())
     }
 }
 
@@ -608,7 +388,7 @@ mod json {
 mod tests {
     use super::*;
     use crate::pipeline::{MiSeries, PipelineResult};
-    use crate::scenario::{SweepCell, SweepReport};
+    use crate::scenario::{CellStatus, SweepCell, SweepReport};
     use sops_info::MeasureConfig;
 
     fn report(deltas: &[(&str, u64, f64)]) -> SweepReport {
@@ -620,6 +400,7 @@ mod tests {
                     measure: MeasureConfig::default(),
                     measure_label: "ksg".into(),
                     seed,
+                    status: CellStatus::Ok,
                     result: PipelineResult {
                         mi: MiSeries {
                             times: vec![0, 10],
@@ -728,18 +509,50 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_rejects_garbage() {
-        let v = json::parse(r#"{"kA": ["\"x\"", -1.5e3, true, null]}"#).unwrap();
-        let obj = v.as_object().unwrap();
-        assert_eq!(obj[0].0, "kA");
-        let arr = obj[0].1.as_array().unwrap();
-        assert_eq!(arr[0].as_str(), Some("\"x\""));
-        assert_eq!(arr[1].as_f64(), Some(-1500.0));
-        assert_eq!(arr[2], json::Value::Bool(true));
-        assert!(arr[3].as_f64().unwrap().is_nan());
-        assert!(json::parse("{").is_err());
-        assert!(json::parse("[1,]").is_err());
-        assert!(json::parse("{} extra").is_err());
-        assert!(SweepBaseline::parse("{\"schema\": \"other/v9\"}").is_err());
+    fn malformed_and_foreign_schemas_are_typed_errors() {
+        // The JSON subset itself is covered by crate::wire's tests; here
+        // the baseline-level validation must map failures to the right
+        // SweepError variant.
+        assert!(matches!(
+            SweepBaseline::parse("{\"schema\": \"other/v9\"}"),
+            Err(SweepError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            SweepBaseline::parse("{\"cells\": ["),
+            Err(SweepError::Parse { .. })
+        ));
+        let (r, s) = sweep();
+        let text = SweepBaseline::from_sweep(&r, &s).to_json();
+        // A torn write — the file cut mid-token — is a Parse error.
+        assert!(matches!(
+            SweepBaseline::parse(&text[..text.len() / 2]),
+            Err(SweepError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_cells_are_excluded_from_capture_and_flagged_by_check() {
+        let (r, s) = sweep();
+        let baseline = SweepBaseline::from_sweep(&r, &s);
+        // A fresh sweep where one baselined cell is quarantined: explicit
+        // violation naming the failure, not a silent skip.
+        let mut broken = r.clone();
+        broken.cells[0].status = CellStatus::Failed {
+            reason: "panicked on all 2 attempt(s): boom".into(),
+        };
+        let broken_summary = SweepSummary::from_report(&broken);
+        let v = baseline.check(&broken, &broken_summary);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("failed in this sweep") && m.contains("boom")),
+            "{v:?}"
+        );
+        // Capturing from the broken report records only healthy cells…
+        let recaptured = SweepBaseline::from_sweep(&broken, &broken_summary);
+        assert_eq!(recaptured.cells.len(), r.cells.len() - 1);
+        // …and checking the broken report against its own baseline is
+        // clean: the failed cell has no baseline entry and is not
+        // reported as "extra".
+        assert!(recaptured.check(&broken, &broken_summary).is_empty());
     }
 }

@@ -23,9 +23,18 @@
 //! [`summary`] folds a sweep's seed axis into per-(scenario, measure)
 //! statistics with confidence intervals and significance verdicts, and
 //! [`baseline`] persists those numbers as a CI regression gate.
+//!
+//! The sweep layer is fault-tolerant: public entry points return the
+//! typed [`error::SweepError`], poisoned cells are quarantined under
+//! panic isolation as [`scenario::CellStatus::Failed`], and
+//! [`checkpoint`] persists completed cells (schema
+//! `sops-sweep-checkpoint/v1`, shared [`wire`] machinery) so an
+//! interrupted sweep resumes bit-identically.
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod dynamics;
+pub mod error;
 pub mod figures;
 pub mod metrics;
 pub mod observers;
@@ -33,12 +42,16 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 pub mod summary;
+pub mod wire;
 
 pub use baseline::SweepBaseline;
+pub use checkpoint::SweepCheckpoint;
+pub use error::SweepError;
 pub use observers::ObserverMode;
 pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
 pub use scenario::{
-    run_sweep, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan, SweepReport, SweepRunner,
+    run_sweep, CellStatus, RetryPolicy, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan,
+    SweepReport, SweepRunner,
 };
 pub use summary::{SummaryConfig, SummaryGroup, SweepSummary};
 

@@ -114,6 +114,22 @@ pub struct PipelineResult {
     pub equilibrated_fraction: f64,
 }
 
+impl PipelineResult {
+    /// The result of a cell that produced nothing: empty series, zero
+    /// equilibrated fraction. This is the payload of a quarantined
+    /// [`crate::scenario::CellStatus::Failed`] cell.
+    pub fn empty() -> Self {
+        PipelineResult {
+            mi: MiSeries {
+                times: Vec::new(),
+                values: Vec::new(),
+            },
+            mean_icp_cost: Vec::new(),
+            equilibrated_fraction: 0.0,
+        }
+    }
+}
+
 /// Simulates the ensemble and evaluates the multi-information series.
 pub fn run_pipeline(p: &Pipeline) -> PipelineResult {
     let ensemble = run_ensemble(&p.ensemble, p.threads);

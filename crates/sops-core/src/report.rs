@@ -42,8 +42,9 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Re
 
 /// Writes a sweep report as the flat scenario × measure × time CSV
 /// table: `scenario,measure,seed,time,mi_bits,mean_icp_cost`, one row
-/// per evaluated step of every grid cell. Non-finite estimates are
-/// written as `nan`/`inf`/`-inf`.
+/// per evaluated step of every healthy grid cell (quarantined cells have
+/// no series and are skipped — the JSON writer records their status).
+/// Non-finite estimates are written as `nan`/`inf`/`-inf`.
 pub fn write_sweep_csv(path: &Path, report: &SweepReport) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -113,7 +114,8 @@ fn json_string(s: &str) -> String {
 }
 
 /// Writes a sweep report as JSON: one object per grid cell carrying the
-/// scenario/measure/seed coordinates, the summary `delta_mi`
+/// scenario/measure/seed coordinates, the cell status (`"ok"`, or
+/// `"failed"` with the quarantine reason), the summary `delta_mi`
 /// (`I(t_last) − I(t_0)`) and the full per-time-step series.
 pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -122,9 +124,19 @@ pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()
     let mut body = String::from("{\n  \"cells\": [\n");
     for (i, cell) in report.cells.iter().enumerate() {
         let r = &cell.result;
+        let status = match &cell.status {
+            crate::scenario::CellStatus::Ok => "\"status\": \"ok\"".to_string(),
+            crate::scenario::CellStatus::Failed { reason } => {
+                format!(
+                    "\"status\": \"failed\", \"reason\": {}",
+                    json_string(reason)
+                )
+            }
+        };
         let _ = writeln!(
             body,
-            "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, \"delta_mi\": {}, \
+            "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, {status}, \
+             \"delta_mi\": {}, \
              \"equilibrated_fraction\": {}, \"times\": [{}], \"mi_bits\": [{}], \
              \"mean_icp_cost\": [{}]}}{}",
             json_string(&cell.scenario),
@@ -419,13 +431,14 @@ mod tests {
     #[test]
     fn sweep_writers_round_trip() {
         use crate::pipeline::{MiSeries, PipelineResult};
-        use crate::scenario::{SweepCell, SweepReport};
+        use crate::scenario::{CellStatus, SweepCell, SweepReport};
         use sops_info::MeasureConfig;
         let cell = |measure: MeasureConfig, values: Vec<f64>| SweepCell {
             scenario: "a".into(),
             measure,
             measure_label: measure.label().into(),
             seed: 1,
+            status: CellStatus::Ok,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 10],
@@ -454,10 +467,27 @@ mod tests {
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(json.contains("\"scenario\": \"a\""), "{json}");
         assert!(json.contains("\"measure\": \"gaussian\""), "{json}");
+        assert!(json.contains("\"status\": \"ok\""), "{json}");
         assert!(
             json.contains("\"mi_bits\": [null, 1.000000000]"),
             "NaN must serialize as null: {json}"
         );
+
+        // A quarantined cell is written with its status and reason, and
+        // excluded from the CSV (which has no row to give it).
+        let mut quarantined = report.clone();
+        quarantined.cells[1].status = CellStatus::Failed {
+            reason: "panicked on all 2 attempt(s): boom".into(),
+        };
+        quarantined.cells[1].result = PipelineResult::empty();
+        write_sweep_csv(&csv_path, &quarantined).unwrap();
+        write_sweep_json(&json_path, &quarantined).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 2, "failed cell has no CSV rows");
+        assert!(!csv.contains("gaussian"), "{csv}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"status\": \"failed\""), "{json}");
+        assert!(json.contains("\"reason\": \"panicked"), "{json}");
 
         // A registered scenario name is arbitrary: commas and quotes must
         // not corrupt the CSV structure.
@@ -571,7 +601,7 @@ mod tests {
     #[test]
     fn summary_writers_round_trip() {
         use crate::pipeline::{MiSeries, PipelineResult};
-        use crate::scenario::{SweepCell, SweepReport};
+        use crate::scenario::{CellStatus, SweepCell, SweepReport};
         use crate::summary::SweepSummary;
         use sops_info::MeasureConfig;
         let mk = |scenario: &str, seed: u64, delta: f64| SweepCell {
@@ -579,6 +609,7 @@ mod tests {
             measure: MeasureConfig::default(),
             measure_label: "ksg".into(),
             seed,
+            status: CellStatus::Ok,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 10],

@@ -30,7 +30,24 @@
 //! table with CSV/JSON writers in [`crate::report`] and an ASCII grid
 //! renderer; the `sops-repro` binary drives it via the `sweep`
 //! subcommand.
+//!
+//! The engine is **fault-tolerant**: every (scenario, seed) ensemble is
+//! simulated and evaluated under panic isolation
+//! ([`std::panic::catch_unwind`] with the bounded [`RetryPolicy`]), so a
+//! poisoned cell — a singular covariance, a degenerate estimator
+//! parameterization, an invalid ensemble spec — is quarantined into the
+//! report as [`CellStatus::Failed`] instead of aborting hours of sweep.
+//! When a shared one-pass evaluation fails, the runner degrades to
+//! per-measure evaluation so only the poisoned measure's cells fail
+//! (per-measure results are bit-identical to the one-pass values by the
+//! engine's own contract). Public entry points return
+//! [`crate::error::SweepError`] instead of panicking, and
+//! [`SweepRunner::run_with_checkpoint`] persists completed cells through
+//! [`crate::checkpoint`] so an interrupted sweep resumes bit-identically
+//! (`tests/sweep_resume.rs`).
 
+use crate::checkpoint::SweepCheckpoint;
+use crate::error::SweepError;
 use crate::observers::{build_observers, ObserverMode};
 use crate::pipeline::{MiSeries, Pipeline, PipelineResult};
 use sops_info::measure::{MeasureConfig, MeasureWorkspace};
@@ -40,6 +57,10 @@ use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 use sops_sim::force::{ForceModel, LinearForce};
 use sops_sim::{IntegratorConfig, Model};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// A named particle-system experiment — model, initialization, schedule
 /// and evaluation times: everything a [`Pipeline`] carries except the
@@ -63,10 +84,16 @@ pub struct ScenarioSpec {
 
 /// The time steps an `eval_every` schedule evaluates over a `t_max`
 /// horizon: `0, every, 2·every, …` plus always `t_max` itself.
+///
+/// Degenerate inputs are defined, not panics (the schedule feeds
+/// unattended sweeps): `eval_every == 0` is a documented clamp to 1
+/// (evaluate every recorded step), and `t_max == 0` yields the single
+/// step `[0]`. The result is therefore never empty and always covers
+/// both endpoints.
 pub fn eval_schedule(t_max: usize, eval_every: usize) -> Vec<usize> {
     let every = eval_every.max(1);
     let mut times: Vec<usize> = (0..=t_max).step_by(every).collect();
-    if *times.last().unwrap() != t_max {
+    if times.last() != Some(&t_max) {
         times.push(t_max);
     }
     times
@@ -272,16 +299,16 @@ impl ScenarioRegistry {
     /// Clones the scenarios selected by `names`, in the given order;
     /// `Err` names the first unknown entry (with the known names, for CLI
     /// error messages).
-    pub fn select(&self, names: &[&str]) -> Result<Vec<ScenarioSpec>, String> {
+    pub fn select(&self, names: &[&str]) -> Result<Vec<ScenarioSpec>, SweepError> {
         names
             .iter()
             .map(|&n| {
-                self.get(n).cloned().ok_or_else(|| {
-                    format!(
-                        "unknown scenario '{n}' (known: {})",
-                        self.names().join(", ")
-                    )
-                })
+                self.get(n)
+                    .cloned()
+                    .ok_or_else(|| SweepError::UnknownScenario {
+                        name: n.to_string(),
+                        known: self.names().iter().map(|s| s.to_string()).collect(),
+                    })
             })
             .collect()
     }
@@ -317,17 +344,25 @@ impl SweepPlan {
 
     /// Validates the grid; called by [`SweepRunner::run`].
     ///
-    /// Rejects duplicate (scenario-name, seed) cells — a duplicate entry
-    /// in [`SweepPlan::seeds`], or two scenarios sharing a name, would
-    /// otherwise produce indistinguishable grid cells that
+    /// Rejects empty axes and duplicate (scenario-name, seed) cells — a
+    /// duplicate entry in [`SweepPlan::seeds`], or two scenarios sharing
+    /// a name, would otherwise produce indistinguishable grid cells that
     /// [`SweepReport::get`] and [`SweepReport::grid_table`] silently
-    /// resolve to the first match.
-    pub fn validate(&self) {
-        assert!(!self.scenarios.is_empty(), "SweepPlan: no scenarios");
-        assert!(!self.measures.is_empty(), "SweepPlan: no measures");
+    /// resolve to the first match. Returns a typed [`SweepError`]
+    /// instead of panicking: an unattended driver gets a diagnostic, not
+    /// a backtrace.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.scenarios.is_empty() {
+            return Err(SweepError::InvalidPlan("no scenarios".into()));
+        }
+        if self.measures.is_empty() {
+            return Err(SweepError::InvalidPlan("no measures".into()));
+        }
         let mut seen: Vec<(&str, u64)> = Vec::with_capacity(self.ensemble_count());
         for s in &self.scenarios {
-            assert!(!s.name.is_empty(), "SweepPlan: unnamed scenario");
+            if s.name.is_empty() {
+                return Err(SweepError::InvalidPlan("unnamed scenario".into()));
+            }
             let own_seed = [s.ensemble.seed];
             let seeds: &[u64] = if self.seeds.is_empty() {
                 &own_seed
@@ -336,15 +371,16 @@ impl SweepPlan {
             };
             for &seed in seeds {
                 let cell = (s.name.as_str(), seed);
-                assert!(
-                    !seen.contains(&cell),
-                    "SweepPlan: duplicate grid cell {}#{seed} (duplicate seed in the \
-                     seed axis, or two scenarios sharing a name)",
-                    s.name
-                );
+                if seen.contains(&cell) {
+                    return Err(SweepError::DuplicateCell {
+                        scenario: s.name.clone(),
+                        seed,
+                    });
+                }
                 seen.push(cell);
             }
         }
+        Ok(())
     }
 
     /// Number of ensembles the plan simulates (scenario × seed pairs) —
@@ -415,6 +451,83 @@ where
     })
 }
 
+/// Bounded retry policy of the panic-isolated cell executor: a cell is
+/// attempted at most `max_attempts` times before it is quarantined as
+/// [`CellStatus::Failed`].
+///
+/// Deterministic panics (an estimator parameterization that is invalid
+/// for the ensemble size, say) fail every attempt; the retries exist for
+/// environmental failures (resource exhaustion under memory pressure)
+/// where a second attempt can succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per isolated unit (≥ 1; 0 is treated as 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 2 }
+    }
+}
+
+/// Count of live quarantine scopes: while positive, the process panic
+/// hook stays silent, so quarantined cell panics don't spray backtraces
+/// over sweep output. The counter (not a bool) makes nesting and
+/// concurrent sweeps safe.
+static QUIET_PANIC_SCOPES: AtomicUsize = AtomicUsize::new(0);
+static QUIET_PANIC_HOOK: Once = Once::new();
+
+/// Runs `f` with the process panic hook silenced (installed once,
+/// chained to the previous hook outside quarantine scopes).
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    QUIET_PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET_PANIC_SCOPES.load(Ordering::SeqCst) == 0 {
+                prev(info);
+            }
+        }));
+    });
+    struct Scope;
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            QUIET_PANIC_SCOPES.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    QUIET_PANIC_SCOPES.fetch_add(1, Ordering::SeqCst);
+    let _scope = Scope;
+    f()
+}
+
+/// The panic payload as a one-line reason string.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes `f` under [`catch_unwind`] with up to `policy.max_attempts`
+/// attempts; `Err` carries the last panic's reason annotated with the
+/// attempt count. The workspaces `f` touches cache only buffer
+/// *capacity*, never results (the engine's no-history contract), so
+/// re-invoking after a caught panic is sound.
+fn run_isolated<T>(policy: RetryPolicy, mut f: impl FnMut() -> T) -> Result<T, String> {
+    let attempts = policy.max_attempts.max(1);
+    let mut reason = String::new();
+    for _ in 0..attempts {
+        match with_quiet_panics(|| catch_unwind(AssertUnwindSafe(&mut f))) {
+            Ok(value) => return Ok(value),
+            Err(payload) => reason = panic_reason(payload.as_ref()),
+        }
+    }
+    Err(format!("panicked on all {attempts} attempt(s): {reason}"))
+}
+
 /// The one-pass sweep engine: persistent evaluation workers fanning any
 /// number of measure selections over each simulated ensemble.
 ///
@@ -422,9 +535,16 @@ where
 /// worker's estimator and reduction scratch — a warmed-up runner driving
 /// a bounded workload performs no steady-state allocations in its
 /// evaluation stage (enforced by `tests/sweep_determinism.rs`).
+///
+/// Every (scenario, seed) ensemble executes under panic isolation with
+/// the runner's [`RetryPolicy`]: a panicking cell is retried, then
+/// quarantined as [`CellStatus::Failed`] — the sweep always completes
+/// and every healthy cell keeps its bit-identical value.
 #[derive(Debug, Clone, Default)]
 pub struct SweepRunner {
     workers: Vec<EvalWorker>,
+    /// Retry policy for panic-isolated cell execution.
+    pub retry: RetryPolicy,
 }
 
 impl SweepRunner {
@@ -435,9 +555,48 @@ impl SweepRunner {
     }
 
     /// Executes the full grid: simulates each (scenario, seed) ensemble
-    /// exactly once and evaluates every measure on it in one pass.
-    pub fn run(&mut self, plan: &SweepPlan) -> SweepReport {
-        plan.validate();
+    /// exactly once and evaluates every measure on it in one pass, under
+    /// per-cell panic isolation. `Err` only for an invalid *plan*; cell
+    /// failures are quarantined into the report.
+    pub fn run(&mut self, plan: &SweepPlan) -> Result<SweepReport, SweepError> {
+        self.run_core(plan, None)
+    }
+
+    /// [`SweepRunner::run`] with per-cell checkpointing: ensembles whose
+    /// cells `checkpoint` already holds are restored (bit-identical —
+    /// the wire format round-trips every f64 exactly) instead of
+    /// recomputed, and each freshly completed ensemble's cells are
+    /// recorded and crash-safely saved to `path` before the next
+    /// ensemble starts. A sweep killed at any cell boundary and resumed
+    /// through its checkpoint is therefore bit-identical to an
+    /// uninterrupted run, for any worker count (`tests/sweep_resume.rs`).
+    ///
+    /// The checkpoint must carry this plan's fingerprint
+    /// ([`SweepCheckpoint::new`] / [`SweepCheckpoint::load`] against the
+    /// same plan); a drifted checkpoint is rejected with
+    /// [`SweepError::FingerprintMismatch`].
+    pub fn run_with_checkpoint(
+        &mut self,
+        plan: &SweepPlan,
+        checkpoint: &mut SweepCheckpoint,
+        path: &Path,
+    ) -> Result<SweepReport, SweepError> {
+        let plan_fp = crate::checkpoint::plan_fingerprint(plan)?;
+        if checkpoint.fingerprint() != plan_fp {
+            return Err(SweepError::FingerprintMismatch {
+                plan: format!("{plan_fp:016x}"),
+                checkpoint: format!("{:016x}", checkpoint.fingerprint()),
+            });
+        }
+        self.run_core(plan, Some((checkpoint, path)))
+    }
+
+    fn run_core(
+        &mut self,
+        plan: &SweepPlan,
+        mut checkpoint: Option<(&mut SweepCheckpoint, &Path)>,
+    ) -> Result<SweepReport, SweepError> {
+        plan.validate()?;
         let labels = measure_labels(&plan.measures);
         let mut cells = Vec::with_capacity(plan.cell_count());
         for base in &plan.scenarios {
@@ -449,20 +608,98 @@ impl SweepRunner {
             };
             for &seed in seeds {
                 let scenario = base.clone().with_seed(seed);
-                let ensemble = run_ensemble(&scenario.ensemble, plan.threads);
-                let results = self.evaluate(&ensemble, &scenario, &plan.measures, plan.threads);
-                for ((measure, label), result) in plan.measures.iter().zip(&labels).zip(results) {
-                    cells.push(SweepCell {
-                        scenario: scenario.name.clone(),
-                        measure: *measure,
-                        measure_label: label.clone(),
-                        seed,
-                        result,
-                    });
+                if let Some((ckpt, _)) = &checkpoint {
+                    if let Some(stored) =
+                        ckpt.ensemble_cells(&scenario.name, seed, &labels, &plan.measures)
+                    {
+                        cells.extend(stored);
+                        continue;
+                    }
                 }
+                let produced = self.run_ensemble_cells(&scenario, seed, plan, &labels);
+                if let Some((ckpt, path)) = &mut checkpoint {
+                    ckpt.record(&produced);
+                    ckpt.save(path, plan)?;
+                }
+                cells.extend(produced);
             }
         }
-        SweepReport { cells }
+        Ok(SweepReport { cells })
+    }
+
+    /// Simulates and evaluates one (scenario, seed) ensemble under panic
+    /// isolation, producing one cell per plan measure. Failure
+    /// containment is hierarchical: a simulation failure quarantines the
+    /// whole ensemble; a one-pass evaluation failure triggers a
+    /// per-measure fallback so only the poisoned measure's cells fail
+    /// (per-measure values are bit-identical to the one-pass values by
+    /// the engine's preparation-sharing contract).
+    fn run_ensemble_cells(
+        &mut self,
+        scenario: &ScenarioSpec,
+        seed: u64,
+        plan: &SweepPlan,
+        labels: &[String],
+    ) -> Vec<SweepCell> {
+        let retry = self.retry;
+        let mk_cell = |mi: usize, result: PipelineResult, status: CellStatus| SweepCell {
+            scenario: scenario.name.clone(),
+            measure: plan.measures[mi],
+            measure_label: labels[mi].clone(),
+            seed,
+            status,
+            result,
+        };
+        let all_failed = |reason: &str| -> Vec<SweepCell> {
+            (0..plan.measures.len())
+                .map(|mi| {
+                    mk_cell(
+                        mi,
+                        PipelineResult::empty(),
+                        CellStatus::Failed {
+                            reason: reason.to_string(),
+                        },
+                    )
+                })
+                .collect()
+        };
+        let ensemble = match run_isolated(retry, || run_ensemble(&scenario.ensemble, plan.threads))
+        {
+            Ok(e) => e,
+            Err(reason) => return all_failed(&format!("simulation {reason}")),
+        };
+        match run_isolated(retry, || {
+            self.evaluate(&ensemble, scenario, &plan.measures, plan.threads)
+        }) {
+            Ok(results) => results
+                .into_iter()
+                .enumerate()
+                .map(|(mi, result)| mk_cell(mi, result, CellStatus::Ok))
+                .collect(),
+            Err(_) => {
+                // Quarantine pass: isolate the poisoned measure(s). The
+                // workers may hold mid-panic scratch; drop them so the
+                // fallback starts from clean (capacity-only) state.
+                self.workers.clear();
+                (0..plan.measures.len())
+                    .map(|mi| {
+                        let one = std::slice::from_ref(&plan.measures[mi]);
+                        match run_isolated(retry, || {
+                            self.evaluate(&ensemble, scenario, one, plan.threads)
+                        }) {
+                            Ok(mut results) => {
+                                let result = results.pop().expect("one measure in, one result out");
+                                mk_cell(mi, result, CellStatus::Ok)
+                            }
+                            Err(reason) => {
+                                self.workers.clear();
+                                mk_cell(mi, PipelineResult::empty(), CellStatus::Failed { reason })
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// Evaluates `measures` over an already-simulated ensemble in one
@@ -549,7 +786,7 @@ impl SweepRunner {
 }
 
 /// Convenience: run `plan` on a throwaway [`SweepRunner`].
-pub fn run_sweep(plan: &SweepPlan) -> SweepReport {
+pub fn run_sweep(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
     SweepRunner::new().run(plan)
 }
 
@@ -573,6 +810,28 @@ pub fn measure_labels(measures: &[MeasureConfig]) -> Vec<String> {
         .collect()
 }
 
+/// Outcome of one grid cell: healthy, or quarantined after exhausting
+/// the runner's [`RetryPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell completed; its result is bit-identical to a standalone
+    /// [`crate::run_pipeline`] run.
+    Ok,
+    /// The cell panicked on every attempt and was quarantined; its
+    /// result is [`PipelineResult::empty`].
+    Failed {
+        /// One-line panic reason, annotated with the attempt count.
+        reason: String,
+    },
+}
+
+impl CellStatus {
+    /// `true` for a healthy cell.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok)
+    }
+}
+
 /// One grid cell: a scenario × seed × measure combination and its full
 /// per-time-step result.
 #[derive(Debug, Clone)]
@@ -587,8 +846,11 @@ pub struct SweepCell {
     pub measure_label: String,
     /// Master seed the ensemble was simulated under.
     pub seed: u64,
+    /// Healthy, or quarantined with the panic reason.
+    pub status: CellStatus,
     /// The measured series — bit-identical to the standalone
-    /// [`crate::run_pipeline`] run of the same cell.
+    /// [`crate::run_pipeline`] run of the same cell
+    /// ([`PipelineResult::empty`] if the cell failed).
     pub result: PipelineResult,
 }
 
@@ -629,11 +891,22 @@ impl SweepReport {
         })
     }
 
-    /// Flattens every cell into scenario × measure × time rows (the CSV
-    /// layout of [`crate::report::write_sweep_csv`]).
+    /// The quarantined cells, in plan order (empty for a healthy sweep).
+    pub fn failed_cells(&self) -> Vec<&SweepCell> {
+        self.cells.iter().filter(|c| !c.status.is_ok()).collect()
+    }
+
+    /// `true` if any cell was quarantined.
+    pub fn has_failures(&self) -> bool {
+        self.cells.iter().any(|c| !c.status.is_ok())
+    }
+
+    /// Flattens every healthy cell into scenario × measure × time rows
+    /// (the CSV layout of [`crate::report::write_sweep_csv`]); failed
+    /// cells have no series and are skipped.
     pub fn rows(&self) -> Vec<SweepRow<'_>> {
         let mut out = Vec::new();
-        for cell in &self.cells {
+        for cell in self.cells.iter().filter(|c| c.status.is_ok()) {
             for (&time, (&mi, &cost)) in cell
                 .result
                 .mi
@@ -697,8 +970,11 @@ impl SweepReport {
             for c in &cols {
                 let cw = c.len().max(9);
                 match self.get(name, c, Some(seed)) {
-                    Some(cell) => {
+                    Some(cell) if cell.status.is_ok() => {
                         let _ = write!(out, " {:>cw$.3}", cell.result.mi.increase());
+                    }
+                    Some(_) => {
+                        let _ = write!(out, " {:>cw$}", "failed");
                     }
                     None => {
                         let _ = write!(out, " {:>cw$}", "-");
@@ -763,14 +1039,21 @@ mod tests {
         // select() preserves request order and reports unknowns.
         let picked = reg.select(&["mixing_null", "cell_sorting"]).unwrap();
         assert_eq!(picked[0].name, "mixing_null");
-        assert!(reg.select(&["bogus"]).unwrap_err().contains("bogus"));
+        let err = reg.select(&["bogus"]).unwrap_err();
+        assert!(matches!(err, SweepError::UnknownScenario { .. }));
+        assert!(err.to_string().contains("bogus"));
     }
 
     #[test]
     fn eval_schedule_covers_endpoints() {
         assert_eq!(eval_schedule(30, 15), vec![0, 15, 30]);
         assert_eq!(eval_schedule(31, 15), vec![0, 15, 30, 31]);
+        // Degenerate inputs clamp instead of panicking or looping:
+        // `eval_every == 0` evaluates every step, `t_max == 0` yields the
+        // single step 0.
         assert_eq!(eval_schedule(5, 0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(eval_schedule(0, 10), vec![0]);
+        assert_eq!(eval_schedule(0, 0), vec![0]);
     }
 
     #[test]
@@ -802,21 +1085,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no measures")]
     fn empty_measure_axis_rejected() {
-        run_sweep(&SweepPlan::new(vec![small_scenario("a", 1)], vec![]));
+        let err = run_sweep(&SweepPlan::new(vec![small_scenario("a", 1)], vec![])).unwrap_err();
+        assert!(matches!(err, SweepError::InvalidPlan(_)));
+        assert!(err.to_string().contains("no measures"));
     }
 
     #[test]
-    #[should_panic(expected = "duplicate grid cell a#7")]
     fn duplicate_seeds_rejected() {
         let mut plan = SweepPlan::new(vec![small_scenario("a", 1)], vec![MeasureConfig::Gaussian]);
         plan.seeds = vec![7, 8, 7];
-        plan.validate();
+        let err = plan.validate().unwrap_err();
+        assert!(matches!(
+            &err,
+            SweepError::DuplicateCell { scenario, seed: 7 } if scenario == "a"
+        ));
+        assert!(err.to_string().contains("duplicate grid cell a#7"));
     }
 
     #[test]
-    #[should_panic(expected = "duplicate grid cell a#3")]
     fn duplicate_scenario_names_rejected() {
         let mut plan = SweepPlan::new(
             // Same name twice: under a shared seed axis every cell
@@ -825,7 +1112,8 @@ mod tests {
             vec![MeasureConfig::Gaussian],
         );
         plan.seeds = vec![3];
-        plan.validate();
+        let err = plan.validate().unwrap_err();
+        assert!(err.to_string().contains("duplicate grid cell a#3"));
     }
 
     #[test]
@@ -837,7 +1125,7 @@ mod tests {
             vec![small_scenario("a", 1), small_scenario("a", 2)],
             vec![MeasureConfig::Gaussian],
         );
-        plan.validate();
+        plan.validate().expect("distinct own seeds are legal");
     }
 
     #[test]
@@ -856,9 +1144,11 @@ mod tests {
             seeds: vec![],
             threads: 2,
         };
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), 4);
+        assert!(!report.has_failures());
         for cell in &report.cells {
+            assert!(cell.status.is_ok());
             let sc = plan
                 .scenarios
                 .iter()
@@ -895,7 +1185,7 @@ mod tests {
             seeds: vec![3, 4],
             threads: 1,
         };
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.cells[0].seed, 3);
         assert_eq!(report.cells[1].seed, 4);
@@ -917,7 +1207,7 @@ mod tests {
             seeds: vec![],
             threads: 1,
         };
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         let rows = report.rows();
         let times = plan.scenarios[0].eval_times().len();
         assert_eq!(rows.len(), 2 * times);
@@ -964,7 +1254,7 @@ mod tests {
             seeds: vec![],
             threads: 1,
         };
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         let k3 = report.get("a", "ksg", None).unwrap();
         let k5 = report.get("a", "ksg#2", None).unwrap();
         assert_ne!(
@@ -1006,5 +1296,91 @@ mod tests {
             results[0].mi.increase(),
             org[0].mi.increase()
         );
+    }
+
+    #[test]
+    fn run_isolated_retries_then_succeeds() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        // First attempt panics, second succeeds: a bounded retry covers
+        // transient failures.
+        let out = run_isolated(RetryPolicy { max_attempts: 2 }, || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            42
+        });
+        assert_eq!(out, Ok(42));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn run_isolated_exhausts_attempts_and_reports_reason() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let out: Result<(), String> = run_isolated(RetryPolicy { max_attempts: 3 }, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("deterministic boom");
+        });
+        let reason = out.unwrap_err();
+        assert!(reason.contains("3 attempt(s)"), "{reason}");
+        assert!(reason.contains("deterministic boom"), "{reason}");
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // max_attempts == 0 is treated as 1, never a silent no-op.
+        let once: Result<(), String> =
+            run_isolated(RetryPolicy { max_attempts: 0 }, || panic!("x"));
+        assert!(once.unwrap_err().contains("1 attempt(s)"));
+    }
+
+    #[test]
+    fn poisoned_measure_is_quarantined_not_fatal() {
+        // KSG with k far beyond the sample count panics inside the
+        // estimator; the sweep must complete with that measure's cells
+        // quarantined and the healthy Gaussian cells bit-identical to a
+        // clean run.
+        let poisoned = SweepPlan {
+            scenarios: vec![small_scenario("a", 9)],
+            measures: vec![
+                MeasureConfig::Gaussian,
+                MeasureConfig::Ksg(KsgConfig {
+                    k: 1000,
+                    ..KsgConfig::default()
+                }),
+            ],
+            seeds: vec![],
+            threads: 1,
+        };
+        let report = run_sweep(&poisoned).expect("quarantine, not abort");
+        assert!(report.has_failures());
+        let failed = report.failed_cells();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].measure_label, "ksg");
+        assert!(matches!(&failed[0].status, CellStatus::Failed { reason }
+            if reason.contains("attempt")));
+        assert!(failed[0].result.mi.values.is_empty());
+        // Healthy cell keeps its bit-identical value.
+        let clean = run_sweep(&SweepPlan {
+            scenarios: vec![small_scenario("a", 9)],
+            measures: vec![MeasureConfig::Gaussian],
+            seeds: vec![],
+            threads: 1,
+        })
+        .expect("valid plan");
+        let healthy = report.get("a", "gaussian", None).unwrap();
+        assert!(healthy.status.is_ok());
+        let reference = clean.get("a", "gaussian", None).unwrap();
+        for (a, b) in healthy
+            .result
+            .mi
+            .values
+            .iter()
+            .zip(&reference.result.mi.values)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Failed cells are excluded from rows and rendered as "failed"
+        // in the grid.
+        assert!(report.rows().iter().all(|r| r.measure != "ksg"));
+        assert!(report.grid_table().contains("failed"));
     }
 }

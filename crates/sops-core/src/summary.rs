@@ -134,10 +134,12 @@ impl SweepSummary {
         // inside a group, cells keep plan order, so the ΔI vectors (and
         // every resampler stream derived from the group index) are
         // independent of the worker count that produced the report.
+        // Quarantined cells are skipped explicitly — a failed cell has no
+        // ΔI and must not drag a NaN into its group's statistics.
         let mut keys: Vec<(String, String)> = Vec::new();
         let mut seeds: Vec<Vec<u64>> = Vec::new();
         let mut deltas: Vec<Vec<f64>> = Vec::new();
-        for cell in &report.cells {
+        for cell in report.cells.iter().filter(|c| c.status.is_ok()) {
             let key = (cell.scenario.clone(), cell.measure_label.clone());
             let gi = match keys.iter().position(|k| *k == key) {
                 Some(gi) => gi,
@@ -301,7 +303,7 @@ impl SweepSummary {
 mod tests {
     use super::*;
     use crate::pipeline::{MiSeries, PipelineResult};
-    use crate::scenario::{SweepCell, SweepReport};
+    use crate::scenario::{CellStatus, SweepCell, SweepReport};
     use sops_info::MeasureConfig;
 
     /// A hand-built report: `rise` organizes (ΔI ≈ 3 ± noise), the null
@@ -313,6 +315,7 @@ mod tests {
             measure: MeasureConfig::default(),
             measure_label: "ksg".into(),
             seed,
+            status: CellStatus::Ok,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 10],
@@ -331,6 +334,19 @@ mod tests {
             cells.push(mk("mixing_null", seed, jitter));
         }
         SweepReport { cells }
+    }
+
+    #[test]
+    fn failed_cells_are_skipped_in_grouping() {
+        let mut report = synthetic_report();
+        report.cells[0].status = CellStatus::Failed {
+            reason: "boom".into(),
+        };
+        let summary = SweepSummary::from_report(&report);
+        let rise = summary.get("rise", "ksg").unwrap();
+        assert_eq!(rise.n(), 5, "the quarantined seed is excluded");
+        assert_eq!(rise.seeds, vec![2, 3, 4, 5, 6]);
+        assert!(rise.mean.is_finite(), "no NaN dragged into the mean");
     }
 
     #[test]

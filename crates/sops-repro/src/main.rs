@@ -6,6 +6,7 @@
 //! repro sweep [--scenario a[,b…]] [--measure ksg[,kde…]] [--seeds S1[,S2…]|A..B]
 //!             [--fast] [--threads T] [--out DIR] [--no-out] [--list]
 //!             [--save-baseline] [--check-baseline] [--baseline PATH]
+//!             [--checkpoint DIR] [--resume]
 //! ```
 //!
 //! Without `--figure`, all figures run in order. `--fast` switches to the
@@ -24,10 +25,27 @@
 //! (default `BASELINE_sweep.json`); `--check-baseline` re-reads it and
 //! exits non-zero if any ΔI moved outside the stored seed-axis
 //! confidence interval — the CI regression gate.
+//!
+//! `--checkpoint DIR` saves `DIR/sweep_checkpoint.json` after every
+//! completed ensemble (crash-safe: temp file + atomic rename). With
+//! `--resume`, a checkpoint matching the plan fingerprint skips its
+//! completed ensembles; a missing, corrupt or mismatched checkpoint is
+//! reported on one line and the sweep recomputes from scratch. Resumed
+//! sweeps are bit-identical to uninterrupted ones for any `--threads`.
+//!
+//! Exit codes:
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | success                                                    |
+//! | 1    | I/O or internal failure (write/read/checkpoint save)       |
+//! | 2    | usage error, unknown name, or invalid plan                 |
+//! | 3    | sweep completed but one or more cells were quarantined     |
+//! | 4    | baseline check failed (takes precedence over 3)            |
 
 use sops_core::report::{write_summary_csv, write_summary_json, write_sweep_csv, write_sweep_json};
-use sops_core::scenario::{ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner};
-use sops_core::{figures, RunOptions, SweepBaseline, SweepSummary};
+use sops_core::scenario::{CellStatus, ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner};
+use sops_core::{figures, RunOptions, SweepBaseline, SweepCheckpoint, SweepError, SweepSummary};
 use sops_info::MeasureConfig;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -45,19 +63,55 @@ struct Args {
 
 const ALL_MEASURES: [&str; 5] = ["ksg", "kde", "binned", "discrete", "gaussian"];
 
-fn usage() -> ! {
-    eprintln!(
+fn usage_text() -> String {
+    format!(
         "usage: repro [--figure figN[,figM...]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]\n\
          \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]|A..B]\n\
          \x20                  [--fast] [--threads T] [--out DIR] [--no-out] [--list]\n\
          \x20                  [--save-baseline] [--check-baseline] [--baseline PATH]\n\
+         \x20                  [--checkpoint DIR] [--resume]\n\
          \x20      --seeds accepts inclusive ranges: 1..8 and 1..=8 both mean seeds 1-8\n\
+         \x20      --checkpoint saves DIR/sweep_checkpoint.json after every ensemble;\n\
+         \x20      --resume (requires --checkpoint) skips ensembles it already holds\n\
          figures:  {}\n\
-         measures: {}",
+         measures: {}\n\
+         exit codes: 0 ok, 1 i/o, 2 usage, 3 quarantined cells, 4 baseline check failed",
         ALL_FIGURES.join(", "),
         ALL_MEASURES.join(", ")
-    );
+    )
+}
+
+/// Usage error: print to stderr and exit 2 (`--help` prints the same
+/// text to stdout and exits 0).
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!("{}", usage_text());
+    std::process::exit(0);
+}
+
+/// Exit code for a typed sweep failure: I/O problems are 1, everything
+/// the caller can fix by changing the invocation or plan is 2.
+fn error_exit_code(err: &SweepError) -> u8 {
+    match err {
+        SweepError::Io { .. } => 1,
+        _ => 2,
+    }
+}
+
+/// Final exit code of a sweep that ran to completion: baseline-gate
+/// failures (4) outrank quarantined cells (3) outrank success (0).
+fn sweep_exit_code(quarantined: bool, baseline_failed: bool) -> u8 {
+    if baseline_failed {
+        4
+    } else if quarantined {
+        3
+    } else {
+        0
+    }
 }
 
 fn parse_measure(name: &str) -> Option<MeasureConfig> {
@@ -117,7 +171,7 @@ fn parse_args() -> Args {
             }
             "--no-out" => opts.out_dir = None,
             "--list" => list = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
@@ -164,6 +218,8 @@ struct SweepArgs {
     save_baseline: bool,
     check_baseline: bool,
     baseline_path: std::path::PathBuf,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
 }
 
 /// One `--seeds` element: a plain seed (`7`) or an inclusive range
@@ -196,6 +252,8 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
         save_baseline: false,
         check_baseline: false,
         baseline_path: std::path::PathBuf::from("BASELINE_sweep.json"),
+        checkpoint_dir: None,
+        resume: false,
     };
     let csv = |value: &str| -> Vec<String> {
         value
@@ -249,13 +307,24 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
                 args.baseline_path =
                     std::path::PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
             }
-            "--help" | "-h" => usage(),
+            "--checkpoint" => {
+                i += 1;
+                args.checkpoint_dir = Some(std::path::PathBuf::from(
+                    argv.get(i).unwrap_or_else(|| usage()),
+                ));
+            }
+            "--resume" => args.resume = true,
+            "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
             }
         }
         i += 1;
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint DIR");
+        usage();
     }
     args
 }
@@ -328,8 +397,58 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         if args.fast { ", fast mode" } else { "" }
     );
     let t0 = Instant::now();
-    let report = SweepRunner::new().run(&plan);
+    let mut runner = SweepRunner::new();
+    let run_result = match &args.checkpoint_dir {
+        Some(dir) => {
+            let path = dir.join("sweep_checkpoint.json");
+            let checkpoint = if args.resume && path.exists() {
+                match SweepCheckpoint::load(&path, &plan) {
+                    Ok(c) => {
+                        println!(
+                            "resuming from {} ({} completed cell(s))",
+                            path.display(),
+                            c.cells().len()
+                        );
+                        Some(c)
+                    }
+                    Err(e) => {
+                        eprintln!("ignoring checkpoint: {e}; recomputing from scratch");
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            match checkpoint.map_or_else(|| SweepCheckpoint::new(&plan), Ok) {
+                Ok(mut c) => runner.run_with_checkpoint(&plan, &mut c, &path),
+                Err(e) => Err(e),
+            }
+        }
+        None => runner.run(&plan),
+    };
+    let report = match run_result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(error_exit_code(&e));
+        }
+    };
     println!("\n{}", report.grid_table());
+    let failed = report.failed_cells();
+    if !failed.is_empty() {
+        eprintln!(
+            "{} cell(s) quarantined (excluded from outputs):",
+            failed.len()
+        );
+        for cell in &failed {
+            if let CellStatus::Failed { reason } = &cell.status {
+                eprintln!(
+                    "  - {}/{}#{}: {reason}",
+                    cell.scenario, cell.measure_label, cell.seed
+                );
+            }
+        }
+    }
     let summary = SweepSummary::from_report(&report);
     if plan.seeds.len() > 1 {
         println!("{}", summary.grid_table());
@@ -358,8 +477,8 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
     if args.save_baseline {
         let baseline = SweepBaseline::from_sweep(&report, &summary);
         if let Err(e) = baseline.write(&args.baseline_path) {
-            eprintln!("failed to write baseline: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("{e}");
+            return ExitCode::from(error_exit_code(&e));
         }
         println!(
             "saved baseline ({} cells, {} groups) to {}",
@@ -368,15 +487,13 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
             args.baseline_path.display()
         );
     }
+    let mut baseline_failed = false;
     if args.check_baseline {
         let baseline = match SweepBaseline::read(&args.baseline_path) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!(
-                    "failed to read baseline {}: {e}",
-                    args.baseline_path.display()
-                );
-                return ExitCode::FAILURE;
+                eprintln!("{e}");
+                return ExitCode::from(error_exit_code(&e));
             }
         };
         let violations = baseline.check(&report, &summary);
@@ -394,11 +511,11 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
             for v in &violations {
                 eprintln!("  - {v}");
             }
-            return ExitCode::FAILURE;
+            baseline_failed = true;
         }
     }
     println!("sweep done in {:.1?}", t0.elapsed());
-    ExitCode::SUCCESS
+    ExitCode::from(sweep_exit_code(!failed.is_empty(), baseline_failed))
 }
 
 fn main() -> ExitCode {
@@ -432,4 +549,34 @@ fn main() -> ExitCode {
     }
     println!("\nall requested figures done in {:.1?}", total.elapsed());
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_rank_baseline_over_quarantine() {
+        assert_eq!(sweep_exit_code(false, false), 0);
+        assert_eq!(sweep_exit_code(true, false), 3);
+        assert_eq!(sweep_exit_code(false, true), 4);
+        assert_eq!(sweep_exit_code(true, true), 4);
+    }
+
+    #[test]
+    fn typed_errors_split_io_from_usage() {
+        let io = SweepError::Io {
+            path: "x.json".into(),
+            op: "write",
+            source: std::io::Error::other("disk full"),
+        };
+        assert_eq!(error_exit_code(&io), 1);
+        let unknown = SweepError::UnknownScenario {
+            name: "bogus".into(),
+            known: vec!["cell_sorting".into()],
+        };
+        assert_eq!(error_exit_code(&unknown), 2);
+        let invalid = SweepError::InvalidPlan("no measures".into());
+        assert_eq!(error_exit_code(&invalid), 2);
+    }
 }

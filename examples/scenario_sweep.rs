@@ -43,7 +43,7 @@ fn main() {
         plan.cell_count(),
         plan.ensemble_count()
     );
-    let report = run_sweep(&plan);
+    let report = run_sweep(&plan).expect("valid plan");
     println!("{}", report.grid_table());
 
     // Every cell carries the full series, not just ΔI.

@@ -62,9 +62,10 @@ pub use sops_spatial as spatial;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sops_core::{
-        evaluate_ensemble, run_pipeline, run_sweep, MiSeries, ObserverMode, Pipeline,
-        PipelineResult, RunOptions, ScenarioRegistry, ScenarioSpec, SummaryConfig, SweepBaseline,
-        SweepCell, SweepPlan, SweepReport, SweepRunner, SweepSummary,
+        evaluate_ensemble, run_pipeline, run_sweep, CellStatus, MiSeries, ObserverMode, Pipeline,
+        PipelineResult, RetryPolicy, RunOptions, ScenarioRegistry, ScenarioSpec, SummaryConfig,
+        SweepBaseline, SweepCell, SweepCheckpoint, SweepError, SweepPlan, SweepReport, SweepRunner,
+        SweepSummary,
     };
     pub use sops_info::{
         InfoWorkspace, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace, SampleView,

@@ -38,7 +38,7 @@ fn summary_is_bit_identical_across_worker_counts() {
     let mut baselines = Vec::new();
     for threads in [1usize, 8] {
         let plan = smoke_plan(vec![1, 2, 3, 4], threads);
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         let summary = SweepSummary::from_report(&report);
         baselines.push(SweepBaseline::from_sweep(&report, &summary).to_json());
         summaries.push(summary);
@@ -82,7 +82,7 @@ fn summary_is_bit_identical_across_worker_counts() {
 #[test]
 fn cell_sorting_is_significant_and_the_null_is_not() {
     let plan = smoke_plan(vec![1, 2, 3, 4, 5, 6], 0);
-    let report = run_sweep(&plan);
+    let report = run_sweep(&plan).expect("valid plan");
     let summary = SweepSummary::from_report(&report);
 
     let sorting = summary.get("cell_sorting", "ksg").unwrap();
@@ -115,7 +115,7 @@ fn cell_sorting_is_significant_and_the_null_is_not() {
 #[test]
 fn baseline_round_trips_and_gates_drift() {
     let plan = smoke_plan(vec![1, 2, 3, 4], 0);
-    let report = run_sweep(&plan);
+    let report = run_sweep(&plan).expect("valid plan");
     let summary = SweepSummary::from_report(&report);
     let baseline = SweepBaseline::from_sweep(&report, &summary);
 
@@ -166,10 +166,15 @@ fn degenerate_mi_series_slope_is_zero() {
 }
 
 #[test]
-#[should_panic(expected = "duplicate grid cell")]
 fn duplicate_seed_axis_cells_are_rejected() {
     // Regression: a duplicated seed used to silently run the same grid
-    // cell twice (skewing any per-(scenario, measure) aggregate).
+    // cell twice (skewing any per-(scenario, measure) aggregate). Now a
+    // typed error instead of a panic.
     let plan = smoke_plan(vec![1, 2, 1], 0);
-    run_sweep(&plan);
+    let err = run_sweep(&plan).unwrap_err();
+    assert!(
+        matches!(err, SweepError::DuplicateCell { seed: 1, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("duplicate grid cell"), "{err}");
 }

@@ -63,7 +63,7 @@ fn sweep_report_bit_matches_single_pipeline_sequence() {
             seeds: vec![],
             threads,
         };
-        let report = run_sweep(&plan);
+        let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), scenarios.len() * measures.len());
 
         // The equivalent sequence of standalone runs, same worker count.
@@ -125,13 +125,13 @@ fn warm_sweep_runner_does_not_allocate() {
     let mut runner = SweepRunner::new();
     // Warm-up: two passes so every estimator family's scratch reaches its
     // steady-state capacity for this workload.
-    runner.run(&plan);
-    runner.run(&plan);
+    runner.run(&plan).expect("valid plan");
+    runner.run(&plan).expect("valid plan");
     let warm = runner.capacity_signature();
 
     // 13 more passes × 8 cells > 100 cells through the warm runner.
     for _ in 0..13 {
-        runner.run(&plan);
+        runner.run(&plan).expect("valid plan");
         assert_eq!(
             runner.capacity_signature(),
             warm,
@@ -151,7 +151,7 @@ fn builtin_registry_sweep_separates_null_control() {
         .map(|sc| sc.clone().with_scale(60, 20))
         .collect();
     let plan = SweepPlan::new(scenarios, vec![MeasureConfig::default()]);
-    let report = run_sweep(&plan);
+    let report = run_sweep(&plan).expect("valid plan");
     assert_eq!(report.cells.len(), 3);
     let sorting = report.get("cell_sorting", "ksg", None).unwrap();
     let null = report.get("mixing_null", "ksg", None).unwrap();

@@ -1,0 +1,269 @@
+//! Fault-tolerance contracts of the checkpointing sweep layer
+//! (`sops_core::checkpoint` + `sops_core::scenario`):
+//!
+//! * **bit-identical resume** — a sweep killed at *any* ensemble
+//!   boundary and resumed through its checkpoint produces the same
+//!   report, bit for bit, as an uninterrupted run, for evaluation
+//!   worker counts 1 and 8 (the serialized `sweep.json` artifact is
+//!   byte-identical too);
+//! * **panic quarantine** — an injected panicking estimator cell is
+//!   recorded as `CellStatus::Failed` while every other cell completes
+//!   intact, the sweep returns `Ok`, and the quarantined cells survive a
+//!   checkpoint round-trip as-is (no recompute, no crash);
+//! * **simulation quarantine** — a panicking *simulation* quarantines
+//!   the whole ensemble with a `simulation …` reason, other ensembles
+//!   unaffected;
+//! * **corruption rejection** — a torn (truncated mid-token) checkpoint
+//!   and a wrong-fingerprint checkpoint are rejected with typed
+//!   `SweepError`s, and recomputing from scratch afterwards (the CLI's
+//!   `--resume` fallback) still yields the uninterrupted result.
+
+use sops::prelude::*;
+use sops::sim::force::{ForceModel, LinearForce};
+use std::path::PathBuf;
+
+/// A small 2-type attracting system that visibly organizes.
+fn small_scenario(name: &str, seed: u64) -> ScenarioSpec {
+    let k = PairMatrix::constant(2, 1.0);
+    let mut r = PairMatrix::constant(2, 1.0);
+    r.set(0, 1, 2.0);
+    let pipeline = Pipeline::new(EnsembleSpec {
+        model: Model::balanced(8, ForceModel::Linear(LinearForce::new(k, r)), f64::INFINITY),
+        integrator: IntegratorConfig::default(),
+        init_radius: 2.0,
+        t_max: 20,
+        samples: 40,
+        seed,
+        criterion: None,
+    });
+    let mut sc = ScenarioSpec::from_pipeline(name, &pipeline);
+    sc.eval_every = 10;
+    sc
+}
+
+/// 2 scenarios × 2 seeds × 2 measures = 4 ensembles, 8 cells.
+fn resume_plan(threads: usize) -> SweepPlan {
+    SweepPlan {
+        scenarios: vec![small_scenario("attract", 42), small_scenario("other", 43)],
+        measures: vec![
+            MeasureConfig::Ksg(KsgConfig {
+                k: 3,
+                ..KsgConfig::default()
+            }),
+            MeasureConfig::Gaussian,
+        ],
+        seeds: vec![5, 6],
+        threads,
+    }
+}
+
+/// Fresh scratch directory per test (tests run in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sops_sweep_resume_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_cells_bit_identical(a: &SweepReport, b: &SweepReport) {
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        let tag = format!("{}/{}#{}", ca.scenario, ca.measure_label, ca.seed);
+        assert_eq!(ca.scenario, cb.scenario, "{tag}");
+        assert_eq!(ca.measure_label, cb.measure_label, "{tag}");
+        assert_eq!(ca.seed, cb.seed, "{tag}");
+        assert_eq!(ca.status, cb.status, "{tag}");
+        assert_eq!(ca.result.mi.times, cb.result.mi.times, "{tag}");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&ca.result.mi.values),
+            bits(&cb.result.mi.values),
+            "{tag}"
+        );
+        assert_eq!(
+            bits(&ca.result.mean_icp_cost),
+            bits(&cb.result.mean_icp_cost),
+            "{tag}"
+        );
+        assert_eq!(
+            ca.result.equilibrated_fraction.to_bits(),
+            cb.result.equilibrated_fraction.to_bits(),
+            "{tag}"
+        );
+    }
+}
+
+/// The headline invariant: for every prefix of completed ensembles —
+/// i.e. a kill at any ensemble boundary — resuming through the saved
+/// checkpoint reproduces the uninterrupted report bit for bit, and the
+/// serialized `sweep.json` byte for byte, for worker counts 1 and 8.
+#[test]
+fn kill_at_any_boundary_and_resume_is_bit_identical() {
+    for threads in [1usize, 8] {
+        let dir = scratch(&format!("boundary_t{threads}"));
+        let path = dir.join("sweep_checkpoint.json");
+        let plan = resume_plan(threads);
+        let n_measures = plan.measures.len();
+
+        let reference = run_sweep(&plan).expect("valid plan");
+        let ref_json = dir.join("reference_sweep.json");
+        sops::core::report::write_sweep_json(&ref_json, &reference).unwrap();
+        let ref_bytes = std::fs::read(&ref_json).unwrap();
+
+        let n_ensembles = reference.cells.len() / n_measures;
+        for prefix in 0..=n_ensembles {
+            // Simulate a run killed after `prefix` completed ensembles:
+            // the checkpoint on disk holds exactly their cells.
+            let mut partial = SweepCheckpoint::new(&plan).expect("serializable plan");
+            partial.record(&reference.cells[..prefix * n_measures]);
+            partial.save(&path, &plan).unwrap();
+
+            // Resume: load from disk into a fresh runner.
+            let mut resumed_ckpt = SweepCheckpoint::load(&path, &plan).unwrap();
+            assert_eq!(resumed_ckpt.cells().len(), prefix * n_measures);
+            let resumed = SweepRunner::new()
+                .run_with_checkpoint(&plan, &mut resumed_ckpt, &path)
+                .expect("valid plan");
+
+            assert_cells_bit_identical(&reference, &resumed);
+            let out = dir.join(format!("resumed_{prefix}.json"));
+            sops::core::report::write_sweep_json(&out, &resumed).unwrap();
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                ref_bytes,
+                "threads {threads}, prefix {prefix}: sweep.json diverged"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// An estimator that panics on every cell (KSG with k ≥ samples) is
+/// quarantined per cell: the sweep completes with `Ok`, the healthy
+/// measure's cells are intact, and the failed cells survive a
+/// checkpoint round-trip unchanged instead of crashing the resume.
+#[test]
+fn panicking_estimator_is_quarantined_and_resumes_as_is() {
+    let dir = scratch("quarantine");
+    let path = dir.join("sweep_checkpoint.json");
+    let mut plan = resume_plan(1);
+    plan.measures[0] = MeasureConfig::Ksg(KsgConfig {
+        k: 1000, // >= samples: panics in the KSG estimator
+        ..KsgConfig::default()
+    });
+
+    let mut ckpt = SweepCheckpoint::new(&plan).expect("serializable plan");
+    let report = SweepRunner::new()
+        .run_with_checkpoint(&plan, &mut ckpt, &path)
+        .expect("quarantine must not abort the sweep");
+    assert_eq!(report.cells.len(), 8);
+    assert!(report.has_failures());
+    for cell in &report.cells {
+        if cell.measure_label == "ksg" {
+            match &cell.status {
+                CellStatus::Failed { reason } => {
+                    assert!(reason.contains("attempt"), "{reason}")
+                }
+                ok => panic!("ksg cell unexpectedly {ok:?}"),
+            }
+            assert!(cell.result.mi.values.is_empty());
+        } else {
+            assert_eq!(cell.status, CellStatus::Ok, "{}", cell.measure_label);
+            assert!(cell.result.mi.values.iter().all(|v| v.is_finite()));
+        }
+    }
+    // Healthy cells bit-match a clean single-measure sweep of the same
+    // ensembles (quarantine must not perturb the survivors).
+    let clean_plan = SweepPlan {
+        measures: vec![MeasureConfig::Gaussian],
+        ..plan.clone()
+    };
+    let clean = run_sweep(&clean_plan).expect("valid plan");
+    for (poisoned, clean_cell) in report
+        .cells
+        .iter()
+        .filter(|c| c.measure_label == "gaussian")
+        .zip(&clean.cells)
+    {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&poisoned.result.mi.values),
+            bits(&clean_cell.result.mi.values)
+        );
+    }
+
+    // Resume from the saved checkpoint: the failed cells are restored
+    // as-is (status, reason and empty payload), not recomputed.
+    let mut resumed_ckpt = SweepCheckpoint::load(&path, &plan).unwrap();
+    let resumed = SweepRunner::new()
+        .run_with_checkpoint(&plan, &mut resumed_ckpt, &path)
+        .expect("valid plan");
+    assert_cells_bit_identical(&report, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A panicking *simulation* (invalid integrator config trips
+/// `EnsembleSpec::validate` inside `run_ensemble`) quarantines every
+/// cell of that ensemble with a `simulation …` reason; the other
+/// scenario's ensembles are unaffected.
+#[test]
+fn panicking_simulation_quarantines_the_whole_ensemble() {
+    let mut plan = resume_plan(1);
+    plan.scenarios[1].ensemble.integrator.dt = 0.0; // "dt must be positive"
+
+    let report = run_sweep(&plan).expect("quarantine must not abort the sweep");
+    assert_eq!(report.cells.len(), 8);
+    for cell in &report.cells {
+        if cell.scenario == "other" {
+            match &cell.status {
+                CellStatus::Failed { reason } => {
+                    assert!(reason.starts_with("simulation"), "{reason}");
+                    assert!(reason.contains("dt must be positive"), "{reason}");
+                }
+                ok => panic!("cell of broken scenario unexpectedly {ok:?}"),
+            }
+        } else {
+            assert_eq!(cell.status, CellStatus::Ok, "{}", cell.scenario);
+        }
+    }
+}
+
+/// Torn and drifted checkpoints are rejected with typed errors — and
+/// the CLI's fallback (recompute from scratch) still reproduces the
+/// uninterrupted result afterwards.
+#[test]
+fn corrupted_or_drifted_checkpoints_are_rejected_then_recomputed() {
+    let dir = scratch("corruption");
+    let path = dir.join("sweep_checkpoint.json");
+    let plan = resume_plan(1);
+
+    let reference = run_sweep(&plan).expect("valid plan");
+    let mut ckpt = SweepCheckpoint::new(&plan).unwrap();
+    ckpt.record(&reference.cells);
+    ckpt.save(&path, &plan).unwrap();
+
+    // Truncate mid-token: torn write → typed parse error.
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() * 2 / 3]).unwrap();
+    let err = SweepCheckpoint::load(&path, &plan).unwrap_err();
+    assert!(matches!(err, SweepError::Parse { .. }), "{err}");
+
+    // Same bytes, drifted plan → fingerprint mismatch.
+    std::fs::write(&path, &full).unwrap();
+    let mut drifted = plan.clone();
+    drifted.scenarios[0].ensemble.t_max += 1;
+    let err = SweepCheckpoint::load(&path, &drifted).unwrap_err();
+    assert!(
+        matches!(err, SweepError::FingerprintMismatch { .. }),
+        "{err}"
+    );
+
+    // The CLI fallback after either rejection: start a fresh checkpoint
+    // and recompute — bit-identical to the uninterrupted run.
+    let mut fresh = SweepCheckpoint::new(&plan).unwrap();
+    let recomputed = SweepRunner::new()
+        .run_with_checkpoint(&plan, &mut fresh, &path)
+        .expect("valid plan");
+    assert_cells_bit_identical(&reference, &recomputed);
+    std::fs::remove_dir_all(&dir).ok();
+}
