@@ -33,6 +33,11 @@
 //!
 //! The `estimators` bench and `estimator_shootout` example reproduce the
 //! calibration comparison.
+//!
+//! All variants share the SoA joint-kNN kernels of
+//! `sops_spatial::block_max` (lane-transposed pruned scan in high joint
+//! dimension, batched leaf kd-tree descent in low) — routing between
+//! them changes throughput only, never bits.
 
 use crate::workspace::InfoWorkspace;
 use crate::SampleView;

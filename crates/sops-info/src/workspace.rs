@@ -17,11 +17,13 @@
 //!   index is no longer rebuilt `n−1` times per matrix.
 //! * **Adaptive joint k-NN** — high joint dimension keeps the pruned
 //!   brute-force scan (where space partitioning degenerates, per the
-//!   `sops_spatial::block_max` docs), now with a stride-direct Chebyshev
-//!   fast path for all-scalar blocks; low joint dimension (pairwise
-//!   scalar MI is dim-2) routes through an iterative kd-tree descent
-//!   under the block-max metric ([`sops_spatial::block_max::knn_block_max_tree_into`]),
-//!   turning each pair's `O(m²)` scan into `O(m log m)`.
+//!   `sops_spatial::block_max` docs), run over a lane-transposed SoA
+//!   tile ([`sops_spatial::block_max::ScalarLanes`]) when every block is
+//!   scalar; low joint dimension (pairwise scalar MI is dim-2) routes
+//!   through an iterative kd-tree descent under the block-max metric
+//!   ([`sops_spatial::block_max::knn_block_max_tree_into`]) whose leaves
+//!   are scanned as contiguous row slabs, turning each pair's `O(m²)`
+//!   scan into `O(m log m)`. All paths are bit-identical.
 //! * **Per-worker scratch, zero steady-state allocations** — samples are
 //!   partitioned into [`INFO_CHUNKS`] fixed spans; each span owns its
 //!   scratch (neighbour buffer, radii, traversal stack, per-sample ψ
@@ -40,7 +42,10 @@ use crate::ksg::{KnnMode, KsgConfig, KsgVariant};
 use crate::SampleView;
 use sops_math::special::digamma;
 use sops_math::{PairMatrix, NATS_TO_BITS};
-use sops_spatial::block_max::{knn_block_max_into, knn_block_max_tree_into, BlockPoints};
+use sops_spatial::block_max::{
+    knn_block_max_into, knn_block_max_lanes_into, knn_block_max_tree_into, BlockPoints,
+    ScalarLanes, LANES,
+};
 use sops_spatial::KdTree;
 
 /// Number of fixed sample spans the estimator loop is partitioned into
@@ -64,6 +69,11 @@ const MAX_TREE_JOINT_DIM: usize = 16;
 
 /// Minimum sample count for the tree path to amortize its build.
 const MIN_TREE_ROWS: usize = 64;
+
+/// Minimum sample count for the scan path to amortize the [`ScalarLanes`]
+/// transpose (one pass over the data, repaid across the `m` queries that
+/// share the tile).
+const MIN_LANES_ROWS: usize = 2 * LANES;
 
 pub(crate) fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
@@ -254,6 +264,10 @@ pub struct InfoWorkspace {
     coarse: Vec<CountIndex>,
     /// Joint kd-tree shared by the spans of a chunked term.
     joint_tree: KdTree,
+    /// Lane-transposed joint samples for the SoA pruned scan (all-scalar
+    /// block sets on the brute-force path), shared by the spans of a
+    /// chunked term.
+    scan_lanes: ScalarLanes,
     /// Identity block→index maps.
     identity_map: Vec<usize>,
     coarse_map: Vec<usize>,
@@ -286,6 +300,7 @@ impl InfoWorkspace {
             fine: Vec::new(),
             coarse: Vec::new(),
             joint_tree: KdTree::build(1, &[]),
+            scan_lanes: ScalarLanes::new(),
             identity_map: Vec::new(),
             coarse_map: Vec::new(),
             view_offsets: Vec::new(),
@@ -319,6 +334,7 @@ impl InfoWorkspace {
         let InfoWorkspace {
             fine,
             joint_tree,
+            scan_lanes,
             identity_map,
             chunks,
             ..
@@ -333,11 +349,13 @@ impl InfoWorkspace {
         } else {
             None
         };
+        let lanes = prepare_lanes(scan_lanes, &points, tree.is_some());
         let psi_sum = chunked_psi_sum(
             &points,
             fine,
             identity_map,
             tree,
+            lanes,
             cfg.k,
             cfg.variant,
             m,
@@ -424,6 +442,7 @@ impl InfoWorkspace {
                     fine,
                     &map,
                     tree_ref,
+                    None,
                     cfg.k,
                     cfg.variant,
                     0,
@@ -468,6 +487,7 @@ impl InfoWorkspace {
             fine,
             coarse,
             joint_tree,
+            scan_lanes,
             coarse_map,
             view_offsets,
             chunks,
@@ -517,11 +537,13 @@ impl InfoWorkspace {
                 None
             };
             let points = BlockPoints::with_offset_buf(coarse_offsets, coarse_data, m, coarse_sizes);
+            let lanes = prepare_lanes(scan_lanes, &points, tree.is_some());
             let psi_sum = chunked_psi_sum(
                 &points,
                 coarse,
                 coarse_map,
                 tree,
+                lanes,
                 cfg.k,
                 cfg.variant,
                 m,
@@ -557,11 +579,13 @@ impl InfoWorkspace {
                 None
             };
             let points = BlockPoints::with_offset_buf(group_offsets, group_data, m, group_sizes);
+            let lanes = prepare_lanes(scan_lanes, &points, tree.is_some());
             let psi_sum = chunked_psi_sum(
                 &points,
                 fine,
                 members,
                 tree,
+                lanes,
                 cfg.k,
                 cfg.variant,
                 m,
@@ -598,6 +622,7 @@ impl InfoWorkspace {
             self.group_offsets.capacity(),
         ];
         sig.extend(self.joint_tree.capacity_signature());
+        sig.push(self.scan_lanes.capacity_signature());
         for idx in self.fine.iter().chain(&self.coarse) {
             idx.capacity_signature(&mut sig);
         }
@@ -606,6 +631,23 @@ impl InfoWorkspace {
         }
         sig
     }
+}
+
+/// Retiles `scan_lanes` for a term that will take the pruned scan:
+/// all-scalar block sets with enough rows to amortize the transpose get
+/// the SoA lane kernel; everything else keeps the row-at-a-time scan.
+/// Results are bit-identical either way (`sops_spatial::block_max` pins
+/// this), so the routing is purely a throughput decision.
+fn prepare_lanes<'l>(
+    scan_lanes: &'l mut ScalarLanes,
+    points: &BlockPoints<'_>,
+    has_tree: bool,
+) -> Option<&'l ScalarLanes> {
+    if has_tree || !points.all_scalar() || points.rows() < MIN_LANES_ROWS {
+        return None;
+    }
+    scan_lanes.rebuild(points);
+    Some(scan_lanes)
 }
 
 fn assert_ksg_bounds(cfg: &KsgConfig, rows: usize) {
@@ -656,6 +698,7 @@ fn chunked_psi_sum(
     indexes: &[CountIndex],
     index_map: &[usize],
     joint_tree: Option<&KdTree>,
+    lanes: Option<&ScalarLanes>,
     k: usize,
     variant: KsgVariant,
     m: usize,
@@ -675,8 +718,8 @@ fn chunked_psi_sum(
         let lo = c * m / nchunks;
         let hi = (c + 1) * m / nchunks;
         term_psi_span(
-            points, indexes, index_map, joint_tree, k, variant, lo, hi, neigh, radii, dists, stack,
-            psi,
+            points, indexes, index_map, joint_tree, lanes, k, variant, lo, hi, neigh, radii, dists,
+            stack, psi,
         );
     });
     let mut sum = 0.0;
@@ -698,6 +741,7 @@ fn term_psi_span(
     indexes: &[CountIndex],
     index_map: &[usize],
     joint_tree: Option<&KdTree>,
+    lanes: Option<&ScalarLanes>,
     k: usize,
     variant: KsgVariant,
     lo: usize,
@@ -711,9 +755,10 @@ fn term_psi_span(
     let n = index_map.len();
     psi.clear();
     for i in lo..hi {
-        match joint_tree {
-            Some(tree) => knn_block_max_tree_into(points, tree, i, k, stack, neigh),
-            None => knn_block_max_into(points, i, k, neigh),
+        match (joint_tree, lanes) {
+            (Some(tree), _) => knn_block_max_tree_into(points, tree, i, k, stack, neigh),
+            (None, Some(lanes)) => knn_block_max_lanes_into(points, lanes, i, k, neigh),
+            (None, None) => knn_block_max_into(points, i, k, neigh),
         }
         let kth = neigh.last().expect("KSG: k-th neighbour must exist").0;
         let mut local = 0.0;

@@ -137,6 +137,74 @@ fn multi_information_bit_identical_to_reference_all_variants_and_paths() {
 }
 
 #[test]
+fn all_scalar_lanes_scan_bit_identical_at_remainder_sizes() {
+    // All-scalar blocks with the scan path forced route the joint k-NN
+    // through the lane-transposed SoA tile
+    // (`sops_spatial::block_max::ScalarLanes`). Row counts straddling
+    // the 8-lane group width exercise the padded final group; threads
+    // 1/8 pin the span-ordered ψ reduction on top of the lane kernel.
+    let sizes = [1usize; 6];
+    let mut ws = InfoWorkspace::new();
+    for rows in [127usize, 128, 129] {
+        let data = fixture(rows, &sizes, 21);
+        let view = SampleView::new(&data, rows, &sizes);
+        for variant in VARIANTS {
+            let want = reference_multi_information(&view, 4, variant);
+            for threads in [1usize, 8] {
+                let got = ws.multi_information(
+                    &view,
+                    &KsgConfig {
+                        k: 4,
+                        variant,
+                        threads,
+                        knn: KnnMode::BruteForce,
+                    },
+                );
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "m{rows}/{variant:?}/t{threads}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_scalar_lanes_scan_handles_quantized_ties() {
+    // Quantizing onto a coarse value grid forces duplicate Chebyshev
+    // distances; the lane scan must resolve them with the same canonical
+    // lexicographic (distance, index) order as the reference scan.
+    let sizes = [1usize; 6];
+    let rows = 65; // 8·8 + 1: ties AND a remainder lane group
+    let mut data = fixture(rows, &sizes, 22);
+    for v in &mut data {
+        *v = (*v * 4.0).round() / 4.0;
+    }
+    let view = SampleView::new(&data, rows, &sizes);
+    let mut ws = InfoWorkspace::new();
+    for variant in VARIANTS {
+        let want = reference_multi_information(&view, 4, variant);
+        for threads in [1usize, 8] {
+            let got = ws.multi_information(
+                &view,
+                &KsgConfig {
+                    k: 4,
+                    variant,
+                    threads,
+                    knn: KnnMode::BruteForce,
+                },
+            );
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{variant:?}/t{threads}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
 fn pairwise_matrix_bit_identical_to_reference_pairs() {
     let sizes = [1usize, 1, 2, 1];
     let data = fixture(180, &sizes, 7);

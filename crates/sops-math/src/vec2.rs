@@ -9,7 +9,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A 2-D vector / point with `f64` components.
+///
+/// `repr(C)` pins the `x, y` field order in memory: SIMD kernels
+/// downstream (e.g. the cell-grid's lane deinterleave) reinterpret
+/// `&[Vec2]` as an interleaved `x y x y …` `f64` stream.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Vec2 {
     /// Horizontal component.
     pub x: f64,

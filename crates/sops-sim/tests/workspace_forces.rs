@@ -144,16 +144,20 @@ fn heun_through_grid_path_matches_brute_reference() {
 
 #[test]
 fn sweep_is_bit_identical_across_worker_counts() {
-    let n = 512;
-    let model = Model::balanced(n, three_type_linear(), 3.0);
-    let pos = cloud(n, 22.0, 99);
-    let mut out1 = Vec::new();
-    let mut out8 = Vec::new();
-    ForceWorkspace::with_threads(1).net_forces_into(&model, &pos, &mut out1);
-    ForceWorkspace::with_threads(8).net_forces_into(&model, &pos, &mut out8);
-    for (i, (a, b)) in out1.iter().zip(&out8).enumerate() {
-        assert_eq!(a.x.to_bits(), b.x.to_bits(), "particle {i} x");
-        assert_eq!(a.y.to_bits(), b.y.to_bits(), "particle {i} y");
+    // n straddling the power-of-two sweep size exercises uneven span
+    // partitions and odd cell populations on top of the SoA lane
+    // buffers — the reduction order must not depend on either.
+    for n in [511usize, 512, 513] {
+        let model = Model::balanced(n, three_type_linear(), 3.0);
+        let pos = cloud(n, 22.0, 99);
+        let mut out1 = Vec::new();
+        let mut out8 = Vec::new();
+        ForceWorkspace::with_threads(1).net_forces_into(&model, &pos, &mut out1);
+        ForceWorkspace::with_threads(8).net_forces_into(&model, &pos, &mut out8);
+        for (i, (a, b)) in out1.iter().zip(&out8).enumerate() {
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "n{n} particle {i} x");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "n{n} particle {i} y");
+        }
     }
 }
 

@@ -25,6 +25,17 @@
 //!   (pairwise scalar MI is dim-2) this turns the `O(m²)` scan into
 //!   `O(m log m)` — the adaptive choice is made by `sops-info`'s
 //!   `InfoWorkspace`.
+//!
+//! Both searches lean on SoA layouts for the common all-scalar-blocks
+//! case: the bounded distance kernel processes rows in fixed-width
+//! dimension chunks, the tree descent scans leaf-contiguous row slabs
+//! with a branch-free batch kernel, and [`ScalarLanes`] /
+//! [`knn_block_max_lanes_into`] run the pruned scan over a
+//! lane-transposed tile (eight candidates per vector op). Every variant
+//! is **bit-identical** to the row-at-a-time reference — same
+//! lexicographic `(distance, index)` tie-breaking, pinned by this
+//! module's frozen-reference proptests — so callers route purely on
+//! throughput.
 
 use crate::kdtree::{KdTree, Node};
 
@@ -157,45 +168,38 @@ impl<'a> BlockPoints<'a> {
         self.block_max_dist_bounded(a, b, f64::INFINITY)
     }
 
+    /// `true` when every block is one-dimensional — callers may then take
+    /// the stride-direct Chebyshev lane paths ([`ScalarLanes`]).
+    #[inline]
+    pub fn all_scalar(&self) -> bool {
+        self.all_scalar
+    }
+
     /// Like [`BlockPoints::block_max_dist`] but returns early with
     /// `f64::INFINITY` as soon as the running max exceeds `bound` — the
     /// pruning that makes the brute-force k-NN loop competitive.
     #[inline]
     pub fn block_max_dist_bounded(&self, a: usize, b: usize, bound: f64) -> f64 {
-        let bound_sq = bound * bound;
         let s = self.stride();
-        let ra = &self.data[a * s..(a + 1) * s];
-        let rb = &self.data[b * s..(b + 1) * s];
-        let mut max_sq: f64 = 0.0;
-        if self.all_scalar {
-            // Every block is one coordinate: the metric is plain Chebyshev
-            // over the row, no offset indirection needed. Operation order
-            // matches the generic loop exactly (bit-identical results).
-            for (x, y) in ra.iter().zip(rb) {
-                let d = x - y;
-                let d2 = d * d;
-                if d2 > max_sq {
-                    max_sq = d2;
-                    if max_sq > bound_sq {
-                        return f64::INFINITY;
-                    }
-                }
-            }
+        self.row_dist_bounded(
+            &self.data[a * s..(a + 1) * s],
+            &self.data[b * s..(b + 1) * s],
+            bound,
+        )
+    }
+
+    /// [`BlockPoints::block_max_dist_bounded`] over two explicit rows of
+    /// this layout — the form the kd-tree descent uses to scan its
+    /// leaf-contiguous row copies. The rows must have length `stride()`.
+    #[inline]
+    pub(crate) fn row_dist_bounded(&self, ra: &[f64], rb: &[f64], bound: f64) -> f64 {
+        let bound_sq = bound * bound;
+        let max_sq = if self.all_scalar {
+            cheb_max_sq_bounded(ra, rb, bound_sq)
         } else {
-            for w in self.offs().windows(2) {
-                let mut d2 = 0.0;
-                for (x, y) in ra[w[0]..w[1]].iter().zip(&rb[w[0]..w[1]]) {
-                    let d = x - y;
-                    d2 += d * d;
-                }
-                if d2 > max_sq {
-                    max_sq = d2;
-                    if max_sq > bound_sq {
-                        return f64::INFINITY;
-                    }
-                }
-            }
-        }
+            block_rows_max_sq_bounded(self.offs(), ra, rb, bound_sq)
+        };
+        // `√INFINITY = INFINITY`, so the pruned sentinel passes through.
         max_sq.sqrt()
     }
 
@@ -210,9 +214,150 @@ impl<'a> BlockPoints<'a> {
     /// `blocks()` — the allocation-free form the KSG hot loop uses.
     pub fn block_dists_into(&self, a: usize, b: usize, out: &mut [f64]) {
         assert_eq!(out.len(), self.blocks(), "block_dists_into: output len");
+        if self.all_scalar {
+            // One coordinate per block: skip the per-block slicing and run
+            // the whole row as contiguous lanes. `dist_sq` on a 1-element
+            // slice computes `0.0 + d·d = d·d`, so this is the identical
+            // floating-point expression.
+            let s = self.stride();
+            let ra = &self.data[a * s..(a + 1) * s];
+            let rb = &self.data[b * s..(b + 1) * s];
+            for ((x, y), slot) in ra.iter().zip(rb).zip(out) {
+                let d = x - y;
+                *slot = (d * d).sqrt();
+            }
+            return;
+        }
         for (blk, slot) in out.iter_mut().enumerate() {
             *slot = crate::dist_sq(self.block(a, blk), self.block(b, blk)).sqrt();
         }
+    }
+}
+
+/// Width of the fixed dimension chunks the Chebyshev kernels process: 8
+/// `f64` lanes, one 512-bit vector on AVX-512 and two 256-bit ops on AVX2.
+const DIM_CHUNK: usize = 8;
+
+/// Chebyshev (all-scalar-blocks) squared distance between two rows with
+/// the bounded early exit, computed over fixed-width dimension chunks:
+/// each chunk's `d²` lanes max-reduce first, then fold into the running
+/// max. Bit-identical to the dimension-at-a-time loop because `max` over
+/// the non-negative `d²` values is exact and commutative, `f64::max`
+/// skips NaN exactly like the `d2 > max` predicate, and the running max
+/// is monotone — it ends above `bound_sq` iff it ever exceeds it, so the
+/// chunk-boundary prune returns `INFINITY` in exactly the same cases as
+/// the per-dimension check.
+#[inline]
+fn cheb_max_sq_bounded(ra: &[f64], rb: &[f64], bound_sq: f64) -> f64 {
+    let mut max_sq: f64 = 0.0;
+    let mut chunks = ra.chunks_exact(DIM_CHUNK).zip(rb.chunks_exact(DIM_CHUNK));
+    for (ca, cb) in &mut chunks {
+        let mut chunk_max: f64 = 0.0;
+        for (x, y) in ca.iter().zip(cb) {
+            let d = x - y;
+            chunk_max = chunk_max.max(d * d);
+        }
+        if chunk_max > max_sq {
+            max_sq = chunk_max;
+            if max_sq > bound_sq {
+                return f64::INFINITY;
+            }
+        }
+    }
+    let tail = ra.len() - ra.len() % DIM_CHUNK;
+    for (x, y) in ra[tail..].iter().zip(&rb[tail..]) {
+        let d = x - y;
+        let d2 = d * d;
+        if d2 > max_sq {
+            max_sq = d2;
+            if max_sq > bound_sq {
+                return f64::INFINITY;
+            }
+        }
+    }
+    max_sq
+}
+
+/// Generic (mixed block sizes) squared block-max distance with the
+/// bounded early exit. The per-block L2 sums accumulate in coordinate
+/// order — reassociating them would change bits, so they stay scalar.
+#[inline]
+fn block_rows_max_sq_bounded(offs: &[usize], ra: &[f64], rb: &[f64], bound_sq: f64) -> f64 {
+    let mut max_sq: f64 = 0.0;
+    for w in offs.windows(2) {
+        let mut d2 = 0.0;
+        for (x, y) in ra[w[0]..w[1]].iter().zip(&rb[w[0]..w[1]]) {
+            let d = x - y;
+            d2 += d * d;
+        }
+        if d2 > max_sq {
+            max_sq = d2;
+            if max_sq > bound_sq {
+                return f64::INFINITY;
+            }
+        }
+    }
+    max_sq
+}
+
+/// Candidate lanes per tile group of [`ScalarLanes`].
+pub const LANES: usize = 8;
+
+/// A lane-transposed copy of an all-scalar [`BlockPoints`] set for the
+/// SoA k-NN scan ([`knn_block_max_lanes_into`]).
+///
+/// Samples are tiled in groups of [`LANES`]: group `g` stores dimension
+/// `d` of candidates `g·LANES..(g+1)·LANES` as one contiguous 8-lane row
+/// at `tile[(g·stride + d)·LANES..]`, so the scan kernel streams one
+/// vector load per dimension instead of strided row gathers. Groups past
+/// the end are padded with `INFINITY`, which every query prunes.
+///
+/// The transpose costs one pass over the data and is built once per KSG
+/// term, amortized over the `m` queries that share it. Buffers are
+/// reused across rebuilds (zero allocations once warm).
+#[derive(Debug, Clone, Default)]
+pub struct ScalarLanes {
+    tile: Vec<f64>,
+    rows: usize,
+    stride: usize,
+}
+
+impl ScalarLanes {
+    /// An empty tile; [`ScalarLanes::rebuild`] fills it.
+    pub fn new() -> Self {
+        ScalarLanes::default()
+    }
+
+    /// Re-tiles `points` (which must be all-scalar) into lane layout,
+    /// reusing the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` has a non-scalar block.
+    pub fn rebuild(&mut self, points: &BlockPoints<'_>) {
+        assert!(
+            points.all_scalar(),
+            "ScalarLanes: only all-scalar block sets have a lane layout"
+        );
+        let rows = points.rows();
+        let stride = points.stride();
+        self.rows = rows;
+        self.stride = stride;
+        let groups = rows.div_ceil(LANES);
+        self.tile.clear();
+        self.tile.resize(groups * stride * LANES, f64::INFINITY);
+        for r in 0..rows {
+            let (g, l) = (r / LANES, r % LANES);
+            let base = g * stride * LANES;
+            for (d, &v) in points.row(r).iter().enumerate() {
+                self.tile[base + d * LANES + l] = v;
+            }
+        }
+    }
+
+    /// Buffer capacity (the zero-allocation contract hook).
+    pub fn capacity_signature(&self) -> usize {
+        self.tile.capacity()
     }
 }
 
@@ -256,6 +401,98 @@ pub fn knn_block_max_into(
         let d = points.block_max_dist_bounded(q, j, worst);
         if d.is_finite() {
             offer_candidate(best, k, j, d, &mut worst);
+        }
+    }
+}
+
+/// [`knn_block_max_into`] over a [`ScalarLanes`] tile — the SoA form of
+/// the pruned scan for all-scalar block sets, **bit-identical** to the
+/// row-at-a-time scan on every input.
+///
+/// Per tile group the kernel accumulates all [`LANES`] running Chebyshev
+/// maxima dimension-by-dimension (one contiguous 8-lane stream per
+/// dimension — no branches, so the autovectorizer widens it), checking
+/// every [`DIM_CHUNK`] dimensions whether *all* lanes already exceed the
+/// group-entry bound `worst²` (then the whole group is pruned: `worst`
+/// only shrinks, so the sequential scan returned `INFINITY` for each of
+/// those candidates too). Surviving groups replay the sequential scan's
+/// accept/skip decision per candidate in ascending index order with the
+/// *current* `worst` — `acc > worst·worst` is exactly the condition under
+/// which `block_max_dist_bounded` returns `INFINITY` (its running max is
+/// monotone), and the exact `d²` values are bitwise equal to the scalar
+/// loop's (commutative exact max of identical products). The offers
+/// therefore arrive as the identical `(distance, index)` stream and the
+/// result heap evolves identically — ties, quantized data and all.
+pub fn knn_block_max_lanes_into(
+    points: &BlockPoints<'_>,
+    lanes: &ScalarLanes,
+    q: usize,
+    k: usize,
+    best: &mut Vec<(usize, f64)>,
+) {
+    best.clear();
+    let m = points.rows();
+    assert!(q < m);
+    assert!(
+        lanes.rows == m && lanes.stride == points.stride(),
+        "knn_block_max_lanes_into: lane tile does not match the point set"
+    );
+    let k = k.min(m.saturating_sub(1));
+    if k == 0 {
+        return;
+    }
+    let stride = lanes.stride;
+    let qr = points.row(q);
+    let mut worst = f64::INFINITY;
+    let groups = m.div_ceil(LANES);
+    for g in 0..groups {
+        let tile = &lanes.tile[g * stride * LANES..(g + 1) * stride * LANES];
+        let entry_bound_sq = worst * worst;
+        let mut acc = [0.0f64; LANES];
+        let mut pruned = false;
+        let mut dim = 0;
+        while dim < stride {
+            let dend = (dim + DIM_CHUNK).min(stride);
+            for d in dim..dend {
+                let qd = qr[d];
+                let lane = &tile[d * LANES..(d + 1) * LANES];
+                for (a, &x) in acc.iter_mut().zip(lane) {
+                    let diff = qd - x;
+                    *a = a.max(diff * diff);
+                }
+            }
+            dim = dend;
+            // Group prune: partial maxima only grow, and `worst` only
+            // shrinks below its group-entry value, so every lane already
+            // above `entry_bound_sq` is a candidate the sequential
+            // bounded scan rejected. (The query's own lane sits at 0 and
+            // the padding lanes at INFINITY, so self never forces a
+            // group to complete nor padding to survive.)
+            if dim < stride && acc.iter().all(|&a| a > entry_bound_sq) {
+                pruned = true;
+                break;
+            }
+        }
+        if pruned {
+            continue;
+        }
+        for (l, &a) in acc.iter().enumerate() {
+            let j = g * LANES + l;
+            if j >= m {
+                break;
+            }
+            if j == q {
+                continue;
+            }
+            // Replay of `block_max_dist_bounded(q, j, worst)`'s outcome:
+            // it returns INFINITY iff the full max exceeds worst².
+            if a > worst * worst {
+                continue;
+            }
+            let d = a.sqrt();
+            if d.is_finite() {
+                offer_candidate(best, k, j, d, &mut worst);
+            }
         }
     }
 }
@@ -334,12 +571,56 @@ pub fn knn_block_max_tree_into(
         loop {
             match &tree.nodes[node as usize] {
                 Node::Leaf { start, end } => {
-                    for &i in &tree.order[*start as usize..*end as usize] {
+                    let (s, e) = (*start as usize, *end as usize);
+                    let sdim = points.stride();
+                    // The tree's `sorted` copy lays this leaf's rows out
+                    // contiguously — same values as `points.row(j)` bit
+                    // for bit, without the `order`-indirected gather, so
+                    // the scan streams instead of cache-missing.
+                    let slab = &tree.sorted[s * sdim..e * sdim];
+                    if points.all_scalar() {
+                        // Batched leaf: compute every row's exact
+                        // Chebyshev `d²` branch-free (the max over the
+                        // non-negative squares is exact and commutative,
+                        // so the values match the bounded scan's bit for
+                        // bit), then replay the bounded scan's
+                        // accept/skip decision per candidate in visit
+                        // order — `d² > worst²` is exactly the condition
+                        // under which it returned `INFINITY`.
+                        let cnt = e - s;
+                        let mut d2s = [0.0f64; crate::kdtree::LEAF_SIZE];
+                        for (t, mx) in d2s[..cnt].iter_mut().enumerate() {
+                            let row = &slab[t * sdim..(t + 1) * sdim];
+                            let mut m: f64 = 0.0;
+                            for (qd, x) in query.iter().zip(row) {
+                                let diff = qd - x;
+                                m = m.max(diff * diff);
+                            }
+                            *mx = m;
+                        }
+                        for (t, &i) in tree.order[s..e].iter().enumerate() {
+                            let j = i as usize;
+                            if j == q {
+                                continue;
+                            }
+                            let a = d2s[t];
+                            if a > worst * worst {
+                                continue;
+                            }
+                            let d = a.sqrt();
+                            if d.is_finite() {
+                                offer_candidate(best, k, j, d, &mut worst);
+                            }
+                        }
+                        break;
+                    }
+                    for (t, &i) in tree.order[s..e].iter().enumerate() {
                         let j = i as usize;
                         if j == q {
                             continue;
                         }
-                        let d = points.block_max_dist_bounded(q, j, worst);
+                        let row = &slab[t * sdim..(t + 1) * sdim];
+                        let d = points.row_dist_bounded(query, row, worst);
                         if d.is_finite() {
                             offer_candidate(best, k, j, d, &mut worst);
                         }
@@ -430,6 +711,108 @@ mod tests {
         let p = BlockPoints::new(&data, 2, &[1]);
         let nn = knn_block_max(&p, 0, 10);
         assert_eq!(nn.len(), 1);
+    }
+
+    /// Frozen pre-SoA `block_max_dist_bounded`: the dimension-at-a-time
+    /// loop, verbatim. The chunked kernels must reproduce it bit for bit.
+    fn frozen_bounded_dist(p: &BlockPoints<'_>, a: usize, b: usize, bound: f64) -> f64 {
+        let bound_sq = bound * bound;
+        let ra = p.row(a);
+        let rb = p.row(b);
+        let mut max_sq: f64 = 0.0;
+        if p.all_scalar() {
+            for (x, y) in ra.iter().zip(rb) {
+                let d = x - y;
+                let d2 = d * d;
+                if d2 > max_sq {
+                    max_sq = d2;
+                    if max_sq > bound_sq {
+                        return f64::INFINITY;
+                    }
+                }
+            }
+        } else {
+            for w in p.offs().windows(2) {
+                let mut d2 = 0.0;
+                for (x, y) in ra[w[0]..w[1]].iter().zip(&rb[w[0]..w[1]]) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                if d2 > max_sq {
+                    max_sq = d2;
+                    if max_sq > bound_sq {
+                        return f64::INFINITY;
+                    }
+                }
+            }
+        }
+        max_sq.sqrt()
+    }
+
+    /// Frozen pre-SoA scan kNN (the row-at-a-time pruned loop, verbatim),
+    /// kept as the reference the lane kernel is pinned against.
+    fn frozen_scan_knn(p: &BlockPoints<'_>, q: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut best = Vec::new();
+        let m = p.rows();
+        let k = k.min(m.saturating_sub(1));
+        if k == 0 {
+            return best;
+        }
+        let mut worst = f64::INFINITY;
+        for j in 0..m {
+            if j == q {
+                continue;
+            }
+            let d = frozen_bounded_dist(p, q, j, worst);
+            if d.is_finite() {
+                offer_candidate(&mut best, k, j, d, &mut worst);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn lanes_knn_remainder_sizes_match_scan_exactly() {
+        // Row counts straddling the lane width and strides straddling the
+        // dim chunk — every padding/remainder combination of the tile.
+        let mut rng = sops_math::SplitMix64::new(41);
+        for rows in [LANES - 1, LANES, LANES + 1, 3 * LANES - 1, 3 * LANES + 1] {
+            for stride in [1usize, DIM_CHUNK - 1, DIM_CHUNK, DIM_CHUNK + 1, 40] {
+                let data: Vec<f64> = (0..rows * stride)
+                    .map(|_| rng.next_range(-5.0, 5.0))
+                    .collect();
+                let sizes = vec![1usize; stride];
+                let p = BlockPoints::new(&data, rows, &sizes);
+                let mut lanes = ScalarLanes::new();
+                lanes.rebuild(&p);
+                let mut best = Vec::new();
+                for q in 0..rows {
+                    for k in [1usize, 4, rows] {
+                        knn_block_max_lanes_into(&p, &lanes, q, k, &mut best);
+                        let want = frozen_scan_knn(&p, q, k);
+                        assert_eq!(best.len(), want.len(), "rows={rows} stride={stride}");
+                        for (g, w) in best.iter().zip(&want) {
+                            assert_eq!(g.0, w.0, "rows={rows} stride={stride} q={q} k={k}");
+                            assert_eq!(g.1.to_bits(), w.1.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_lanes_rebuild_is_allocation_stable() {
+        let mut rng = sops_math::SplitMix64::new(7);
+        let data: Vec<f64> = (0..90 * 11).map(|_| rng.next_range(-1.0, 1.0)).collect();
+        let sizes = vec![1usize; 11];
+        let mut lanes = ScalarLanes::new();
+        lanes.rebuild(&BlockPoints::new(&data, 90, &sizes));
+        let cap = lanes.capacity_signature();
+        for rows in [90usize, 64, 81, 90] {
+            lanes.rebuild(&BlockPoints::new(&data[..rows * 11], rows, &sizes));
+            assert_eq!(lanes.capacity_signature(), cap, "rebuild must not allocate");
+        }
     }
 
     /// Reference implementation: full sort of the max-block distances.
@@ -554,6 +937,80 @@ mod tests {
                 prop_assert_eq!(got.len(), want.len());
                 for (g, w) in got.iter().zip(&want) {
                     prop_assert!((g.1 - w.1).abs() < 1e-9, "{:?} vs {:?}", g, w);
+                }
+            }
+        }
+
+        /// The chunked bounded-distance kernels (scalar Chebyshev lanes
+        /// and the generic block loop) against the frozen pre-SoA
+        /// dimension-at-a-time implementation, bit for bit — bounds
+        /// included, on continuous and quantized (tie-heavy) data.
+        #[test]
+        fn chunked_bounded_dist_bit_identical_to_frozen(
+            rows in 2..24usize,
+            stride in 1..24usize,
+            seed in 0..u64::MAX
+        ) {
+            let quantize = seed & 1 == 0;
+            let mut rng = sops_math::SplitMix64::new(seed);
+            let data: Vec<f64> = (0..rows * stride)
+                .map(|_| {
+                    let v = rng.next_range(-4.0, 4.0);
+                    if quantize { v.round() } else { v }
+                })
+                .collect();
+            let scalar_sizes = vec![1usize; stride];
+            let mixed_sizes = if stride >= 3 {
+                vec![1usize, 2, stride - 3].into_iter().filter(|&s| s > 0).collect()
+            } else {
+                scalar_sizes.clone()
+            };
+            for sizes in [scalar_sizes, mixed_sizes] {
+                let p = BlockPoints::new(&data, rows, &sizes);
+                for a in 0..rows.min(4) {
+                    for b in 0..rows {
+                        for bound in [f64::INFINITY, 2.0, 0.5, 0.0] {
+                            prop_assert_eq!(
+                                p.block_max_dist_bounded(a, b, bound).to_bits(),
+                                frozen_bounded_dist(&p, a, b, bound).to_bits(),
+                                "a={} b={} bound={} sizes={:?}", a, b, bound, &sizes
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The SoA lane scan against the frozen row-at-a-time scan:
+        /// identical indices and bit-identical distances on continuous
+        /// and quantized data, all remainder geometries.
+        #[test]
+        fn lanes_knn_bit_identical_to_frozen_scan(
+            rows in 2..40usize,
+            stride in 1..20usize,
+            k in 1..8usize,
+            seed in 0..u64::MAX
+        ) {
+            let quantize = seed & 1 == 0;
+            let mut rng = sops_math::SplitMix64::new(seed);
+            let data: Vec<f64> = (0..rows * stride)
+                .map(|_| {
+                    let v = rng.next_range(-3.0, 3.0);
+                    if quantize { v.round() } else { v }
+                })
+                .collect();
+            let sizes = vec![1usize; stride];
+            let p = BlockPoints::new(&data, rows, &sizes);
+            let mut lanes = ScalarLanes::new();
+            lanes.rebuild(&p);
+            let mut best = Vec::new();
+            for q in 0..rows.min(6) {
+                knn_block_max_lanes_into(&p, &lanes, q, k, &mut best);
+                let want = frozen_scan_knn(&p, q, k);
+                prop_assert_eq!(best.len(), want.len());
+                for (g, w) in best.iter().zip(&want) {
+                    prop_assert_eq!(g.0, w.0, "{:?} vs {:?}", &best, &want);
+                    prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
                 }
             }
         }

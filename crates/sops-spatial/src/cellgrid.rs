@@ -30,6 +30,9 @@ pub struct CellGrid {
     points: Vec<Vec2>,
     /// Counting-sort cursor, kept around so `rebuild` allocates nothing.
     cursor: Vec<u32>,
+    /// Per-point cell ids from the counting pass, reused by the scatter
+    /// pass (the cell computation costs two f64 divisions per point).
+    cellid: Vec<u32>,
 }
 
 impl CellGrid {
@@ -55,6 +58,7 @@ impl CellGrid {
             items: Vec::new(),
             points: Vec::new(),
             cursor: Vec::new(),
+            cellid: Vec::new(),
         };
         grid.rebuild(points, cell_size);
         grid
@@ -70,6 +74,36 @@ impl CellGrid {
     ///
     /// Panics if `cell_size` is not finite and positive.
     pub fn rebuild(&mut self, points: &[Vec2], cell_size: f64) {
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        self.rebuild_impl::<false>(points, cell_size, &mut xs, &mut ys);
+    }
+
+    /// [`CellGrid::rebuild`] fused with [`CellGrid::gather_lanes`]: the
+    /// counting-sort scatter pass writes the cell-ordered `xs`/`ys`
+    /// coordinate lanes directly, so the simulator's per-substep rebuild
+    /// needs one pass over the points instead of two (the separate gather
+    /// re-reads every point through the `order()` indirection).
+    ///
+    /// Equivalent to `rebuild(points, cell_size)` followed by
+    /// `gather_lanes(points, xs, ys)` — same grid, same lanes, bit for
+    /// bit — and allocation-free once all buffers are warm.
+    pub fn rebuild_lanes(
+        &mut self,
+        points: &[Vec2],
+        cell_size: f64,
+        xs: &mut Vec<f64>,
+        ys: &mut Vec<f64>,
+    ) {
+        self.rebuild_impl::<true>(points, cell_size, xs, ys);
+    }
+
+    fn rebuild_impl<const GATHER: bool>(
+        &mut self,
+        points: &[Vec2],
+        cell_size: f64,
+        xs: &mut Vec<f64>,
+        ys: &mut Vec<f64>,
+    ) {
         assert!(
             cell_size.is_finite() && cell_size > 0.0,
             "CellGrid: cell size must be positive and finite"
@@ -77,6 +111,18 @@ impl CellGrid {
         self.cell = cell_size;
         self.points.clear();
         self.points.extend_from_slice(points);
+        if GATHER {
+            // The scatter pass overwrites every slot, so warm rebuilds
+            // only need the length fixed, not a zero fill.
+            if xs.len() != points.len() {
+                xs.clear();
+                xs.resize(points.len(), 0.0);
+            }
+            if ys.len() != points.len() {
+                ys.clear();
+                ys.resize(points.len(), 0.0);
+            }
+        }
         if points.is_empty() {
             self.origin = Vec2::ZERO;
             self.nx = 1;
@@ -87,12 +133,28 @@ impl CellGrid {
             return;
         }
         debug_assert!(points.len() <= u32::MAX as usize, "CellGrid: u32 indices");
-        let mut lo = points[0];
-        let mut hi = points[0];
-        for &p in points {
-            lo = lo.min(p);
-            hi = hi.max(p);
-        }
+        #[cfg(target_arch = "x86_64")]
+        let has_wide = x86::wide_available();
+        #[cfg(not(target_arch = "x86_64"))]
+        let has_wide = false;
+        let (lo, hi) = if has_wide {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `has_wide` certifies the target features; the empty
+            // case returned above.
+            unsafe {
+                x86::bbox(points)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!()
+        } else {
+            let mut lo = points[0];
+            let mut hi = points[0];
+            for &p in points {
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+            (lo, hi)
+        };
         let nx = (((hi.x - lo.x) / cell_size).floor() as usize + 1).max(1);
         let ny = (((hi.y - lo.y) / cell_size).floor() as usize + 1).max(1);
         let ncells = nx * ny;
@@ -100,16 +162,52 @@ impl CellGrid {
         self.nx = nx;
         self.ny = ny;
 
-        // Counting sort into cells, entirely within reused buffers.
-        let cell_of = |p: Vec2| -> usize {
-            let cx = (((p.x - lo.x) / cell_size) as usize).min(nx - 1);
-            let cy = (((p.y - lo.y) / cell_size) as usize).min(ny - 1);
-            cy * nx + cx
+        // Counting sort into cells, entirely within reused buffers. The
+        // cell id needs two f64 divisions per point, so it is computed
+        // once and cached for the scatter pass.
+        // u32 cell coordinates: `f64 as u32` saturates exactly like the
+        // `as usize` + `.min()` pair for the in-range values the bounding
+        // box guarantees, and the narrower cast is the one SSE2/AVX can
+        // vectorize (`cvttpd2dq`). Cell counts are u32-bounded already
+        // (`items`/`offsets` are u32).
+        let (nxm1, nym1) = ((nx - 1) as u32, (ny - 1) as u32);
+        let cell_of = |p: Vec2| -> u32 {
+            let cx = (((p.x - lo.x) / cell_size) as u32).min(nxm1);
+            let cy = (((p.y - lo.y) / cell_size) as u32).min(nym1);
+            cy * nx as u32 + cx
         };
         self.offsets.clear();
         self.offsets.resize(ncells + 1, 0);
-        for &p in points {
-            self.offsets[cell_of(p) + 1] += 1;
+        // The cell-id pass is kept free of the histogram's random-access
+        // increments so the divisions and float→int casts can vectorize;
+        // the counting pass then runs over the cached ids.
+        self.cellid.clear();
+        self.cellid.resize(points.len(), 0);
+        let wide = has_wide && nx <= i32::MAX as usize && ny <= i32::MAX as usize;
+        #[cfg(target_arch = "x86_64")]
+        if wide {
+            // SAFETY: `wide` certifies the target features and the
+            // `i32::MAX` grid bounds; `cellid` was just sized to the
+            // point count.
+            unsafe {
+                x86::cell_ids(
+                    points,
+                    lo,
+                    cell_size,
+                    nxm1,
+                    nym1,
+                    nx as u32,
+                    &mut self.cellid,
+                );
+            }
+        }
+        if !wide {
+            for (cid, &p) in self.cellid.iter_mut().zip(points) {
+                *cid = cell_of(p);
+            }
+        }
+        for &c in &self.cellid {
+            self.offsets[c as usize + 1] += 1;
         }
         for c in 0..ncells {
             self.offsets[c + 1] += self.offsets[c];
@@ -118,30 +216,40 @@ impl CellGrid {
         self.cursor.extend_from_slice(&self.offsets);
         self.items.clear();
         self.items.resize(points.len(), 0);
-        for (i, &p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            self.items[self.cursor[c] as usize] = i as u32;
+        for (i, &c) in self.cellid.iter().enumerate() {
+            let c = c as usize;
+            let dst = self.cursor[c] as usize;
+            self.items[dst] = i as u32;
+            if GATHER {
+                let p = points[i];
+                xs[dst] = p.x;
+                ys[dst] = p.y;
+            }
             self.cursor[c] += 1;
         }
     }
 
     /// Number of indexed points.
+    #[inline]
     pub fn len(&self) -> usize {
         self.points.len()
     }
 
     /// `true` if no points are indexed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
 
     /// Grid shape `(nx, ny)`.
+    #[inline]
     pub fn shape(&self) -> (usize, usize) {
         (self.nx, self.ny)
     }
 
     /// Number of grid cells `nx · ny`. Cell `c` sits at column `c % nx`,
     /// row `c / nx`.
+    #[inline]
     pub fn cells(&self) -> usize {
         self.nx * self.ny
     }
@@ -153,25 +261,57 @@ impl CellGrid {
     /// positions as `order().map(|i| points[i])` yields a layout where
     /// each cell's points are contiguous, which is what the simulator's
     /// half-neighbourhood force sweep iterates over.
+    #[inline]
     pub fn order(&self) -> &[u32] {
         &self.items
     }
 
     /// Half-open range `(start, end)` into [`CellGrid::order`] for cell
     /// `c`.
+    #[inline]
     pub fn cell_bounds(&self, c: usize) -> (usize, usize) {
         (self.offsets[c] as usize, self.offsets[c + 1] as usize)
+    }
+
+    /// Gathers `points` into cell order as SoA coordinate lanes:
+    /// `xs[k] = points[order()[k]].x` (and likewise `ys`), with both
+    /// outputs cleared first.
+    ///
+    /// This is the layout contract of the simulator's chunked force
+    /// kernel: each cell's coordinates land contiguous in `xs`/`ys`, so a
+    /// cell-pair segment is two slice windows the autovectorizer can
+    /// stream over. `points` must be the slice the grid was last
+    /// [rebuilt](CellGrid::rebuild) over (same length and order);
+    /// callers keeping auxiliary per-point lanes (types, charges) must
+    /// gather them through [`CellGrid::order`] with the same indexing so
+    /// every lane stays aligned with `xs`/`ys`.
+    pub fn gather_lanes(&self, points: &[Vec2], xs: &mut Vec<f64>, ys: &mut Vec<f64>) {
+        assert_eq!(
+            points.len(),
+            self.items.len(),
+            "CellGrid::gather_lanes: point count must match the indexed set"
+        );
+        xs.clear();
+        ys.clear();
+        xs.reserve(points.len());
+        ys.reserve(points.len());
+        for &i in &self.items {
+            let p = points[i as usize];
+            xs.push(p.x);
+            ys.push(p.y);
+        }
     }
 
     /// Capacities of every internal buffer, for allocation-stability
     /// assertions: a warmed-up grid rebuilt over a workload of bounded
     /// size must keep this signature constant.
-    pub fn capacity_signature(&self) -> [usize; 4] {
+    pub fn capacity_signature(&self) -> [usize; 5] {
         [
             self.offsets.capacity(),
             self.items.capacity(),
             self.points.capacity(),
             self.cursor.capacity(),
+            self.cellid.capacity(),
         ]
     }
 
@@ -251,6 +391,149 @@ impl CellGrid {
         }
         out.sort_unstable();
         out
+    }
+}
+
+/// Runtime-detected AVX-512 version of the cell-index pass — the only
+/// long contiguous stream in the rebuild (two `f64` divisions per point
+/// dominate it; `vdivpd` retires eight per instruction and IEEE division
+/// is exact, so the vector form is bit-identical to the scalar one).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+    use sops_math::Vec2;
+
+    /// One cached CPUID check for the wide cell-index pass.
+    #[inline]
+    pub fn wide_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+    }
+
+    /// Bounding box over the interleaved point stream, four points per
+    /// `vminpd`/`vmaxpd` pair. For finite coordinates this equals the
+    /// scalar `Vec2::min`/`max` fold exactly (min/max are exact and
+    /// order-independent); on ties between `−0.0` and `+0.0` either sign
+    /// may win, which cannot change any cell assignment (`x − ±0.0`
+    /// differs only for `x = ±0.0`, where the quotient truncates to cell
+    /// 0 either way).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified [`wide_available`]; `points` non-empty.
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub unsafe fn bbox(points: &[Vec2]) -> (Vec2, Vec2) {
+        let n = points.len();
+        debug_assert!(n > 0);
+        let base = points.as_ptr() as *const f64;
+        let first = _mm512_castpd128_pd512(_mm_loadu_pd(base));
+        // Broadcast the first point to every 128-bit lane: the
+        // accumulators stay in interleaved `x y x y …` shape.
+        let seed = _mm512_shuffle_f64x2::<0>(first, first);
+        let mut lov = seed;
+        let mut hiv = seed;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm512_loadu_pd(base.add(2 * i));
+            lov = _mm512_min_pd(lov, v);
+            hiv = _mm512_max_pd(hiv, v);
+            i += 4;
+        }
+        let lo256 = _mm256_min_pd(
+            _mm512_castpd512_pd256(lov),
+            _mm512_extractf64x4_pd::<1>(lov),
+        );
+        let hi256 = _mm256_max_pd(
+            _mm512_castpd512_pd256(hiv),
+            _mm512_extractf64x4_pd::<1>(hiv),
+        );
+        let lo128 = _mm_min_pd(
+            _mm256_castpd256_pd128(lo256),
+            _mm256_extractf128_pd::<1>(lo256),
+        );
+        let hi128 = _mm_max_pd(
+            _mm256_castpd256_pd128(hi256),
+            _mm256_extractf128_pd::<1>(hi256),
+        );
+        let mut lob = [0.0f64; 2];
+        let mut hib = [0.0f64; 2];
+        _mm_storeu_pd(lob.as_mut_ptr(), lo128);
+        _mm_storeu_pd(hib.as_mut_ptr(), hi128);
+        let mut lo = Vec2::new(lob[0], lob[1]);
+        let mut hi = Vec2::new(hib[0], hib[1]);
+        for j in i..n {
+            let p = *points.get_unchecked(j);
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+
+    /// `out[i] = cell_of(points[i])` for the grid parameters given —
+    /// exactly the portable expression
+    /// `(((p.x − lo.x)/cell) as u32).min(nxm1)` (and likewise `y`),
+    /// eight points per iteration.
+    ///
+    /// Equivalence holds for *every* input, not just well-behaved ones:
+    /// a negative or NaN quotient converts to 0 (the `≥ 0` ordered mask
+    /// zeroes the lane, matching the scalar saturating cast), and any
+    /// quotient ≥ 2³¹ — where `vcvttpd2dq` yields `0x8000_0000` instead
+    /// of the scalar cast's exact truncation — still clamps to the same
+    /// `nxm1`/`nym1` because the caller guarantees `nx, ny ≤ i32::MAX`,
+    /// making both values larger than the clamp.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified [`wide_available`] and `nx ≤ i32::MAX`,
+    /// `ny ≤ i32::MAX`; `out.len() == points.len()`.
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub unsafe fn cell_ids(
+        points: &[Vec2],
+        lo: Vec2,
+        cell_size: f64,
+        nxm1: u32,
+        nym1: u32,
+        nx: u32,
+        out: &mut [u32],
+    ) {
+        debug_assert_eq!(points.len(), out.len());
+        let n = points.len();
+        // `Vec2` is `repr(C)`, so the point slice is an interleaved
+        // `x y x y …` f64 stream.
+        let base = points.as_ptr() as *const f64;
+        let xsel = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+        let ysel = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+        let lox = _mm512_set1_pd(lo.x);
+        let loy = _mm512_set1_pd(lo.y);
+        let cs = _mm512_set1_pd(cell_size);
+        let zero = _mm512_setzero_pd();
+        let nxv = _mm256_set1_epi32(nxm1 as i32);
+        let nyv = _mm256_set1_epi32(nym1 as i32);
+        let nxw = _mm256_set1_epi32(nx as i32);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let a = _mm512_loadu_pd(base.add(2 * i));
+            let b = _mm512_loadu_pd(base.add(2 * i + 8));
+            let xv = _mm512_permutex2var_pd(a, xsel, b);
+            let yv = _mm512_permutex2var_pd(a, ysel, b);
+            let qx = _mm512_div_pd(_mm512_sub_pd(xv, lox), cs);
+            let qy = _mm512_div_pd(_mm512_sub_pd(yv, loy), cs);
+            let mx = _mm512_cmp_pd_mask::<_CMP_GE_OQ>(qx, zero);
+            let my = _mm512_cmp_pd_mask::<_CMP_GE_OQ>(qy, zero);
+            let cx = _mm256_maskz_mov_epi32(mx, _mm512_cvttpd_epi32(qx));
+            let cy = _mm256_maskz_mov_epi32(my, _mm512_cvttpd_epi32(qy));
+            let cx = _mm256_min_epu32(cx, nxv);
+            let cy = _mm256_min_epu32(cy, nyv);
+            let cell = _mm256_add_epi32(_mm256_mullo_epi32(cy, nxw), cx);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), cell);
+            i += 8;
+        }
+        for j in i..n {
+            let p = *points.get_unchecked(j);
+            let cx = (((p.x - lo.x) / cell_size) as u32).min(nxm1);
+            let cy = (((p.y - lo.y) / cell_size) as u32).min(nym1);
+            *out.get_unchecked_mut(j) = cy * nx + cx;
+        }
     }
 }
 
@@ -382,6 +665,51 @@ mod tests {
         for _ in 0..50 {
             g.rebuild(&pts, 1.5);
             assert_eq!(g.capacity_signature(), sig, "rebuild must not allocate");
+        }
+    }
+
+    #[test]
+    fn rebuild_lanes_matches_rebuild_plus_gather() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 50.0 - 10.0
+        };
+        for n in [0usize, 1, 7, 120] {
+            let pts: Vec<Vec2> = (0..n).map(|_| Vec2::new(next(), next())).collect();
+            let mut fused = CellGrid::build(&[], 1.0);
+            let (mut fx, mut fy) = (Vec::new(), Vec::new());
+            fused.rebuild_lanes(&pts, 1.3, &mut fx, &mut fy);
+            let mut two_pass = CellGrid::build(&[], 1.0);
+            two_pass.rebuild(&pts, 1.3);
+            let (mut gx, mut gy) = (Vec::new(), Vec::new());
+            two_pass.gather_lanes(&pts, &mut gx, &mut gy);
+            assert_eq!(fused.order(), two_pass.order());
+            assert_eq!(fx, gx);
+            assert_eq!(fy, gy);
+        }
+    }
+
+    #[test]
+    fn rebuild_lanes_is_allocation_stable() {
+        let pts: Vec<Vec2> = (0..120)
+            .map(|i| Vec2::new((i % 12) as f64 * 0.9, (i / 12) as f64 * 0.9))
+            .collect();
+        let mut g = CellGrid::build(&pts, 1.5);
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        g.rebuild_lanes(&pts, 1.5, &mut xs, &mut ys);
+        let sig = g.capacity_signature();
+        let lane_caps = (xs.capacity(), ys.capacity());
+        for _ in 0..50 {
+            g.rebuild_lanes(&pts, 1.5, &mut xs, &mut ys);
+            assert_eq!(
+                g.capacity_signature(),
+                sig,
+                "rebuild_lanes must not allocate"
+            );
+            assert_eq!((xs.capacity(), ys.capacity()), lane_caps);
         }
     }
 

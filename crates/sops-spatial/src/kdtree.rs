@@ -17,7 +17,7 @@ use crate::dist_sq;
 
 /// Maximum number of points in a leaf node; below this, linear scan beats
 /// further splitting (measured with the `kdtree` Criterion bench).
-const LEAF_SIZE: usize = 12;
+pub(crate) const LEAF_SIZE: usize = 12;
 
 #[derive(Debug, Clone)]
 pub(crate) enum Node {
@@ -48,6 +48,12 @@ pub struct KdTree {
     pub(crate) points: Vec<f64>,
     /// Permutation of point indices, partitioned recursively.
     pub(crate) order: Vec<u32>,
+    /// The point rows permuted into `order` order, so every leaf's points
+    /// are one contiguous `(end − start) × dim` slab. Leaf scans over
+    /// this copy (`sops_spatial::block_max`'s tree descent) read a
+    /// straight stream instead of gathering `order`-indirected rows —
+    /// the values are bitwise copies, so distances are unchanged.
+    pub(crate) sorted: Vec<f64>,
     pub(crate) nodes: Vec<Node>,
     /// Per-axis bound scratch for `widest_axis` (2 × dim), reused across
     /// `build_node` calls so rebuilding never allocates.
@@ -66,6 +72,7 @@ impl KdTree {
             dim: dim.max(1),
             points: Vec::new(),
             order: Vec::new(),
+            sorted: Vec::new(),
             nodes: Vec::with_capacity(2 * (points.len() / dim.max(1) / LEAF_SIZE + 1)),
             bounds_scratch: Vec::new(),
         };
@@ -97,14 +104,22 @@ impl KdTree {
         if n > 0 {
             self.build_node(0, n);
         }
+        self.sorted.clear();
+        self.sorted.reserve(self.points.len());
+        for &i in &self.order {
+            let i = i as usize;
+            self.sorted
+                .extend_from_slice(&self.points[i * dim..(i + 1) * dim]);
+        }
     }
 
     /// Capacities of the internal buffers — constant for a warmed-up tree
     /// driving a bounded workload (the zero-allocation contract).
-    pub fn capacity_signature(&self) -> [usize; 4] {
+    pub fn capacity_signature(&self) -> [usize; 5] {
         [
             self.points.capacity(),
             self.order.capacity(),
+            self.sorted.capacity(),
             self.nodes.capacity(),
             self.bounds_scratch.capacity(),
         ]

@@ -254,13 +254,26 @@ fn default_json_path() -> PathBuf {
     PathBuf::from(format!("BENCH_{name}.json"))
 }
 
+/// The worker count the OS grants this process, or 0 when it cannot be
+/// determined. Recorded in the JSON so thread-scaling numbers (e.g. the
+/// flat `ensemble/1|4|8` medians from a 1-core container) carry the
+/// context needed to read them: a `parallelism` of 1 means every worker
+/// count time-slices one core and flat scaling is expected, not a bug.
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0)
+}
+
 /// Serializes every collected result. `quick` runs are flagged so a
-/// perf-tracking consumer never compares smoke numbers against full ones.
+/// perf-tracking consumer never compares smoke numbers against full ones,
+/// and the machine's available parallelism is recorded alongside.
 fn results_to_json(results: &[(String, f64, u64)]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"quick\": {},\n  \"results\": [\n",
-        QUICK.load(Ordering::Relaxed)
+        "  \"quick\": {},\n  \"parallelism\": {},\n  \"results\": [\n",
+        QUICK.load(Ordering::Relaxed),
+        detected_parallelism()
     ));
     for (i, (name, median, iters)) in results.iter().enumerate() {
         let escaped: String = name
@@ -367,6 +380,13 @@ mod tests {
     fn json_handles_empty_results() {
         let json = results_to_json(&[]);
         assert!(json.contains("\"results\": [\n  ]"));
+    }
+
+    #[test]
+    fn json_records_parallelism() {
+        let json = results_to_json(&[]);
+        let n = detected_parallelism();
+        assert!(json.contains(&format!("\"parallelism\": {n},")));
     }
 
     #[test]
