@@ -294,6 +294,7 @@ fn bench_sweep(c: &mut Criterion) {
         measures,
         seeds: vec![],
         threads: 1,
+        storage: sops_core::EnsembleStorage::default(),
     };
     let mut runner = SweepRunner::new();
     group.bench_function("grid3x4/one_pass", |b| {

@@ -3,6 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sops_bench::cloud;
+use sops_core::{scenario, EnsembleStorage, SweepPlan, SweepRunner};
+use sops_info::MeasureConfig;
 use sops_math::{PairMatrix, Vec2};
 use sops_sim::ensemble::{run_ensemble, EnsembleSpec};
 use sops_sim::force::{ForceModel, GaussianForce, LinearForce};
@@ -207,6 +209,52 @@ fn bench_ensemble_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ensemble_scale(c: &mut Criterion) {
+    // What the streaming layer buys at the gallery's XL tier: one full
+    // sweep cell (simulate + reduce + measure) at 10⁵ particles under
+    // both storage policies, at the scenario's own sparse eval schedule.
+    // Case order is deliberate: the JSON's per-result `peak_rss_bytes` is
+    // a process-wide high-water mark, so the bounded-memory streaming
+    // case runs first and records its own footprint; the retained
+    // reference then raises the mark by the full-trajectory cost
+    // (8 samples × 101 frames × n positions, ~1.3 GB at n = 10⁵).
+    // `--quick` drops to 10⁴ particles; the id carries n either way.
+    let mut group = c.benchmark_group("ensemble_scale");
+    group.sample_size(10);
+    let n = if criterion::is_quick() {
+        10_000
+    } else {
+        100_000
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(8);
+    let xl = scenario::cell_sorting_xl().with_particles(n);
+    let cases = [
+        ("streaming", EnsembleStorage::default()),
+        ("retained", EnsembleStorage::Retained),
+    ];
+    for (label, storage) in cases {
+        let plan = SweepPlan {
+            scenarios: vec![xl.clone()],
+            measures: vec![MeasureConfig::default()],
+            seeds: vec![],
+            threads,
+            storage,
+        };
+        group.bench_with_input(BenchmarkId::new(label, n), &plan, |b, plan| {
+            let mut runner = SweepRunner::new();
+            b.iter(|| {
+                let report = runner.run(black_box(plan)).expect("valid plan");
+                assert!(!report.has_failures());
+                black_box(report.cells.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_force_paths,
@@ -214,6 +262,7 @@ criterion_group!(
     bench_workspace_reuse,
     bench_force_families,
     bench_substeps_ablation,
-    bench_ensemble_throughput
+    bench_ensemble_throughput,
+    bench_ensemble_scale
 );
 criterion_main!(benches);

@@ -30,27 +30,30 @@ const TOLERANCE: f64 = 1.5;
 /// `(name, median_ns)` for every entry of a `BENCH_*.json` document.
 fn load_results(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = wire::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let obj = doc
-        .as_object()
-        .ok_or_else(|| format!("{path}: not an object"))?;
+    parse_results(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses a `BENCH_*.json` document. Only `name` and `median_ns` are
+/// read per entry — extra fields (`iters`, the `peak_rss_bytes` newer
+/// harnesses record) are ignored, so old and new baselines both load.
+fn parse_results(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = wire::parse(text).map_err(|e| e.to_string())?;
+    let obj = doc.as_object().ok_or("not an object")?;
     let results = wire::get(obj, "results")
-        .map_err(|e| format!("{path}: {e}"))?
+        .map_err(|e| e.to_string())?
         .as_array()
-        .ok_or_else(|| format!("{path}: 'results' is not an array"))?;
+        .ok_or("'results' is not an array")?;
     let mut out = Vec::with_capacity(results.len());
     for entry in results {
-        let entry = entry
-            .as_object()
-            .ok_or_else(|| format!("{path}: result entry is not an object"))?;
+        let entry = entry.as_object().ok_or("result entry is not an object")?;
         let name = wire::get(entry, "name")
             .ok()
             .and_then(Value::as_str)
-            .ok_or_else(|| format!("{path}: result entry without 'name'"))?;
+            .ok_or("result entry without 'name'")?;
         let median = wire::get(entry, "median_ns")
             .ok()
             .and_then(Value::as_f64)
-            .ok_or_else(|| format!("{path}: '{name}' without 'median_ns'"))?;
+            .ok_or_else(|| format!("'{name}' without 'median_ns'"))?;
         out.push((name.to_string(), median));
     }
     Ok(out)
@@ -132,5 +135,31 @@ mod tests {
         assert!(!is_kernel_case("ensemble/8"));
         assert!(!is_kernel_case("force_crossover/kd_tree/12"));
         assert!(!is_kernel_case("integrator_substeps/4"));
+    }
+
+    #[test]
+    fn loader_tolerates_baselines_with_and_without_peak_rss() {
+        let old = r#"{
+  "quick": false,
+  "parallelism": 4,
+  "results": [
+    {"name": "net_forces/cutoff_grid/512", "median_ns": 34459.0, "iters": 810}
+  ]
+}"#;
+        let new = r#"{
+  "quick": false,
+  "parallelism": 4,
+  "peak_rss_bytes": 123456789,
+  "results": [
+    {"name": "net_forces/cutoff_grid/512", "median_ns": 34459.0, "iters": 810, "peak_rss_bytes": 7340032}
+  ]
+}"#;
+        for text in [old, new] {
+            let results = parse_results(text).expect("both baseline shapes load");
+            assert_eq!(
+                results,
+                vec![("net_forces/cutoff_grid/512".to_string(), 34459.0)]
+            );
+        }
     }
 }

@@ -44,7 +44,7 @@ use crate::scenario::{measure_labels, CellStatus, ScenarioSpec, SweepCell, Sweep
 use crate::wire::{self, Value};
 use sops_info::measure::MeasureConfig;
 use sops_math::PairMatrix;
-use sops_shape::ensemble::ReduceConfig;
+use sops_shape::ensemble::{ReduceConfig, ReduceMode};
 use sops_sim::ensemble::EnsembleSpec;
 use sops_sim::force::ForceModel;
 use sops_sim::integrator::Scheme;
@@ -142,8 +142,13 @@ fn ensemble_wire(e: &EnsembleSpec) -> Result<String, SweepError> {
 // `threads` is excluded: reduction results are bit-identical for any
 // worker count, so it must not bind the fingerprint.
 fn reduce_wire(r: &ReduceConfig) -> String {
+    let mode = match r.mode {
+        ReduceMode::Full => "full",
+        ReduceMode::Centred => "centred",
+    };
     format!(
-        "{{\"icp\":{{\"max_iterations\":{},\"tolerance\":{},\"restarts\":{}}},\"reference\":{}}}",
+        "{{\"icp\":{{\"max_iterations\":{},\"tolerance\":{},\"restarts\":{}}},\
+         \"reference\":{},\"mode\":\"{mode}\"}}",
         r.icp.max_iterations,
         wire::float_exact(r.icp.tolerance),
         r.icp.restarts,
@@ -215,6 +220,17 @@ fn measure_wire(m: &MeasureConfig) -> String {
             format!("{{\"family\":\"discrete\",\"bins\":{bins}}}")
         }
         MeasureConfig::Gaussian => "{\"family\":\"gaussian\"}".to_string(),
+        MeasureConfig::Strided { family, every } => {
+            // The stride is physics-relevant (it changes which rows the
+            // estimator sees); the base family nests as its own wire form.
+            let base = match family {
+                sops_info::StridedFamily::Ksg(c) => measure_wire(&MeasureConfig::Ksg(*c)),
+                sops_info::StridedFamily::Kde(c) => measure_wire(&MeasureConfig::Kde(*c)),
+                sops_info::StridedFamily::Binned(c) => measure_wire(&MeasureConfig::Binned(*c)),
+                sops_info::StridedFamily::Gaussian => measure_wire(&MeasureConfig::Gaussian),
+            };
+            format!("{{\"family\":\"strided\",\"every\":{every},\"base\":{base}}}")
+        }
     }
 }
 
@@ -731,6 +747,7 @@ mod tests {
         retuned.threads = 8;
         retuned.scenarios[0].reduce.threads = 4;
         retuned.scenarios[0].description = "edited prose".into();
+        retuned.storage = crate::scenario::EnsembleStorage::Retained;
         assert_eq!(plan_fingerprint(&retuned).unwrap(), fp);
         // …but every result-bearing knob does.
         let mut drifted = plan.clone();
@@ -739,12 +756,32 @@ mod tests {
         let mut rescheduled = plan.clone();
         rescheduled.scenarios[0].eval_every = 7;
         assert_ne!(plan_fingerprint(&rescheduled).unwrap(), fp);
+        let mut remoded = plan.clone();
+        remoded.scenarios[0].reduce.mode = sops_shape::ensemble::ReduceMode::Centred;
+        assert_ne!(plan_fingerprint(&remoded).unwrap(), fp);
         let mut remeasured = plan.clone();
         remeasured.measures[1] = MeasureConfig::Ksg(KsgConfig {
             k: 5,
             ..KsgConfig::default()
         });
         assert_ne!(plan_fingerprint(&remeasured).unwrap(), fp);
+        // A strided wrapper changes the fingerprint, and so does its
+        // stride — but not its `threads` field.
+        let strided = |every, threads| MeasureConfig::Strided {
+            family: sops_info::StridedFamily::Ksg(KsgConfig {
+                threads,
+                ..KsgConfig::default()
+            }),
+            every,
+        };
+        let mut restrided = plan.clone();
+        restrided.measures[1] = strided(2, 1);
+        let strided_fp = plan_fingerprint(&restrided).unwrap();
+        assert_ne!(strided_fp, fp);
+        restrided.measures[1] = strided(4, 1);
+        assert_ne!(plan_fingerprint(&restrided).unwrap(), strided_fp);
+        restrided.measures[1] = strided(2, 6);
+        assert_eq!(plan_fingerprint(&restrided).unwrap(), strided_fp);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub use error::SweepError;
 pub use observers::ObserverMode;
 pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
 pub use scenario::{
-    run_sweep, CellStatus, RetryPolicy, ScenarioRegistry, ScenarioSpec, SweepCell, SweepPlan,
-    SweepReport, SweepRunner,
+    run_sweep, CellStatus, EnsembleStorage, RetryPolicy, ScenarioRegistry, ScenarioSpec, SweepCell,
+    SweepPlan, SweepReport, SweepRunner,
 };
 pub use summary::{SummaryConfig, SummaryGroup, SweepSummary};
 

@@ -195,7 +195,7 @@ pub fn decomposition_series(ensemble: &Ensemble, p: &Pipeline) -> DecompositionS
     let mut workers: Vec<EvalWorker> = Vec::new();
     let terms: Vec<Decomposition> = eval_pass(
         &mut workers,
-        ensemble,
+        sops_sim::streaming::EnsembleFrames::Retained(ensemble),
         &times,
         p.threads,
         |w, slice, _ti| {

@@ -52,9 +52,12 @@ use crate::observers::{build_observers, ObserverMode};
 use crate::pipeline::{MiSeries, Pipeline, PipelineResult};
 use sops_info::measure::{MeasureConfig, MeasureWorkspace};
 use sops_math::{PairMatrix, Vec2};
-use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig, ReduceWorkspace};
+use sops_shape::ensemble::{reduce_configurations_with, ReduceConfig, ReduceMode, ReduceWorkspace};
 use sops_sim::ensemble::{run_ensemble, Ensemble, EnsembleSpec};
 use sops_sim::force::{ForceModel, LinearForce};
+use sops_sim::streaming::{
+    recycle_slice_vec, run_streaming_ensemble, EnsembleFrames, StreamingConfig, StreamingEnsemble,
+};
 use sops_sim::{IntegratorConfig, Model};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -148,6 +151,22 @@ impl ScenarioSpec {
         self.eval_every = self.eval_every.clamp(1, t_max);
         self
     }
+
+    /// The same scenario re-scaled to `n` particles: the model is rebuilt
+    /// with a balanced type assignment over the same force law and
+    /// cut-off, and the initial disc radius grows as `√(n/n_old)` so the
+    /// initial *density* (and with it the neighbourhood structure the
+    /// forces see) is preserved — how the gallery's 10⁵-particle tier is
+    /// derived from the lab-scale builtins.
+    pub fn with_particles(mut self, n: usize) -> Self {
+        assert!(n > 0, "with_particles: need at least one particle");
+        let old_n = self.ensemble.model.particles();
+        let law = self.ensemble.model.law().clone();
+        let cutoff = self.ensemble.model.cutoff();
+        self.ensemble.model = Model::balanced(n, law, cutoff);
+        self.ensemble.init_radius *= (n as f64 / old_n as f64).sqrt();
+        self
+    }
 }
 
 /// Integrator schedule shared by the built-in adhesion scenarios (the
@@ -238,6 +257,32 @@ pub fn mixing_null() -> ScenarioSpec {
     }
 }
 
+/// Cell sorting at collective scale: the [`cell_sorting`] physics with
+/// 10⁵ particles (density-preserving disc via
+/// [`ScenarioSpec::with_particles`]), a small sample axis and a sparse
+/// evaluation schedule. At this size the retained-trajectory ensemble
+/// would hold `8 × 101 × 10⁵` positions (~1.3 GB); the streaming default
+/// keeps only the three scheduled frames (~38 MB). The reduction runs in
+/// [`ReduceMode::Centred`] (the Hungarian matching of the full reduction
+/// is O(k³) per type) and observers are per-type means, the regime where
+/// the per-particle correspondence is irrelevant.
+pub fn cell_sorting_xl() -> ScenarioSpec {
+    let mut sc = cell_sorting().with_particles(100_000).with_scale(8, 100);
+    sc.name = "cell_sorting_xl".into();
+    sc.description = "cell sorting at 10⁵ particles: the streaming-tier scale demonstrator".into();
+    // Halve the cut-off: at preserved density the in-range neighbour
+    // count scales with r_c², so the lab tier's r_c = 6 (which there
+    // covers the whole 40-particle disc, ~40 neighbours) would mean ~160
+    // neighbours per particle here. r_c = 3 restores the lab
+    // coordination number and quarters the per-step pair work.
+    let law = sc.ensemble.model.law().clone();
+    sc.ensemble.model = Model::balanced(100_000, law, 3.0);
+    sc.eval_every = 50;
+    sc.reduce.mode = ReduceMode::Centred;
+    sc.observers = ObserverMode::TypeMeans { k_per_type: 4 };
+    sc
+}
+
 /// A name-keyed collection of scenarios; [`ScenarioRegistry::builtin`]
 /// ships the paper's gallery, [`ScenarioRegistry::register`] adds or
 /// replaces entries (last write wins, insertion order preserved).
@@ -259,6 +304,16 @@ impl ScenarioRegistry {
         reg.register(cell_sorting());
         reg.register(ring_formation());
         reg.register(mixing_null());
+        reg
+    }
+
+    /// The extended gallery: every [`ScenarioRegistry::builtin`] scenario
+    /// plus the large-scale tier ([`cell_sorting_xl`]). Kept separate
+    /// from `builtin` so default sweeps stay lab-sized; drivers opt into
+    /// the big scenarios by name.
+    pub fn gallery() -> Self {
+        let mut reg = Self::builtin();
+        reg.register(cell_sorting_xl());
         reg
     }
 
@@ -314,6 +369,40 @@ impl ScenarioRegistry {
     }
 }
 
+/// How each (scenario, seed) ensemble is materialized for evaluation.
+///
+/// Results are **bit-identical across variants** — storage only decides
+/// which frames exist in memory, never their values — so, like `threads`,
+/// this field is excluded from the checkpoint fingerprint and a sweep may
+/// resume under a different storage policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleStorage {
+    /// Retain every recorded step of every run (`m × (t_max+1) × n`
+    /// positions) — the classic [`Ensemble`]. Required by analyses that
+    /// read unscheduled steps (e.g. time-lagged dynamics over the full
+    /// trajectory).
+    Retained,
+    /// Stream each run forward and retain only the frames on the
+    /// scenario's evaluation schedule (`m × |schedule| × n`), spilling to
+    /// an unlinked temp file when even those exceed the budget. Peak
+    /// memory is O(scheduled frames), not O(t_max).
+    Streaming {
+        /// Spill to disk once the retained frames exceed this many bytes.
+        max_resident_bytes: usize,
+    },
+}
+
+impl Default for EnsembleStorage {
+    /// Streaming with the default residency budget: the bounded-memory
+    /// path is the default because it is bit-identical to retained
+    /// storage at every evaluated step.
+    fn default() -> Self {
+        EnsembleStorage::Streaming {
+            max_resident_bytes: StreamingConfig::default().max_resident_bytes,
+        }
+    }
+}
+
 /// The cartesian sweep grid: scenarios × measure selections × master
 /// seeds. An empty seed axis means "each scenario's own seed" (one
 /// ensemble per scenario); otherwise every scenario is re-run under every
@@ -328,6 +417,9 @@ pub struct SweepPlan {
     pub seeds: Vec<u64>,
     /// Worker threads for simulation and evaluation (0 = default).
     pub threads: usize,
+    /// Ensemble materialization policy (result-invariant, like
+    /// `threads`).
+    pub storage: EnsembleStorage,
 }
 
 impl SweepPlan {
@@ -339,18 +431,21 @@ impl SweepPlan {
             measures,
             seeds: Vec::new(),
             threads: 0,
+            storage: EnsembleStorage::default(),
         }
     }
 
     /// Validates the grid; called by [`SweepRunner::run`].
     ///
-    /// Rejects empty axes and duplicate (scenario-name, seed) cells — a
+    /// Rejects empty axes, duplicate (scenario-name, seed) cells — a
     /// duplicate entry in [`SweepPlan::seeds`], or two scenarios sharing
     /// a name, would otherwise produce indistinguishable grid cells that
     /// [`SweepReport::get`] and [`SweepReport::grid_table`] silently
-    /// resolve to the first match. Returns a typed [`SweepError`]
-    /// instead of panicking: an unattended driver gets a diagnostic, not
-    /// a backtrace.
+    /// resolve to the first match — and invalid ensemble/integrator
+    /// specifications ([`EnsembleSpec::check`]), so a misconfigured
+    /// scenario is a typed [`SweepError::InvalidPlan`] up front instead
+    /// of a quarantined panic per ensemble. An unattended driver gets a
+    /// diagnostic, not a backtrace.
     pub fn validate(&self) -> Result<(), SweepError> {
         if self.scenarios.is_empty() {
             return Err(SweepError::InvalidPlan("no scenarios".into()));
@@ -358,10 +453,24 @@ impl SweepPlan {
         if self.measures.is_empty() {
             return Err(SweepError::InvalidPlan("no measures".into()));
         }
+        for m in &self.measures {
+            if let MeasureConfig::Strided { every: 0, .. } = m {
+                return Err(SweepError::InvalidPlan(format!(
+                    "measure '{}': stride must be >= 1",
+                    m.label()
+                )));
+            }
+        }
         let mut seen: Vec<(&str, u64)> = Vec::with_capacity(self.ensemble_count());
         for s in &self.scenarios {
             if s.name.is_empty() {
                 return Err(SweepError::InvalidPlan("unnamed scenario".into()));
+            }
+            if let Err(reason) = s.ensemble.check() {
+                return Err(SweepError::InvalidPlan(format!(
+                    "scenario '{}': {reason}",
+                    s.name
+                )));
             }
             let own_seed = [s.ensemble.seed];
             let seeds: &[u64] = if self.seeds.is_empty() {
@@ -398,20 +507,29 @@ impl SweepPlan {
 /// One evaluation worker's persistent state: every estimator family's
 /// engine plus the shape-reduction scratch, reused across the time steps
 /// (and, held in a [`SweepRunner`], the grid cells) the worker claims.
+///
+/// `stage` and `slice` are the cross-sample view buffers: the spill
+/// staging area and the slice vector of [`EnsembleFrames::at_time_into`].
+/// Both are empty at rest (the `'static` slice vector never holds an
+/// element outside a pass — see [`recycle_slice_vec`]) but keep their
+/// capacity, so a warmed-up worker materializes views allocation-free.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct EvalWorker {
     pub(crate) measure: MeasureWorkspace,
     pub(crate) reduce: ReduceWorkspace,
+    pub(crate) stage: Vec<Vec2>,
+    pub(crate) slice: Vec<&'static [Vec2]>,
 }
 
 /// Runs `f(worker, cross_sample_slice, time_index)` for every entry of
 /// `times`, parallel over evaluation steps with persistent per-worker
 /// scratch. Each worker materializes the time slice into its own reused
-/// buffer ([`Ensemble::at_time_into`]), so the steady state of the pass
-/// allocates nothing beyond `f`'s own outputs.
+/// buffers ([`EnsembleFrames::at_time_into`] via the worker's persistent
+/// `stage`/`slice`), so the steady state of the pass allocates nothing
+/// beyond `f`'s own outputs — for retained *and* spilled storage alike.
 pub(crate) fn eval_pass<T, F>(
     workers: &mut Vec<EvalWorker>,
-    ensemble: &Ensemble,
+    frames: EnsembleFrames<'_>,
     times: &[usize],
     threads: usize,
     f: F,
@@ -429,26 +547,43 @@ where
     while workers.len() < threads {
         workers.push(EvalWorker::default());
     }
-    // Per-call view of the persistent workers: the slice buffer borrows
-    // the ensemble, so it cannot live inside the lifetime-free
-    // `EvalWorker`; sizing it to the sample count up front keeps the pass
-    // itself allocation-free.
-    struct PassWorker<'w, 'e> {
+    // Per-call view of the persistent workers: the view buffers borrow
+    // the ensemble during the pass, so they are taken out of the
+    // lifetime-free `EvalWorker` and restored (empty, capacity intact)
+    // when the pass ends.
+    struct PassWorker<'w> {
         worker: &'w mut EvalWorker,
-        slice: Vec<&'e [Vec2]>,
+        stage: Vec<Vec2>,
+        slice: Vec<&'static [Vec2]>,
     }
-    let mut pass_workers: Vec<PassWorker<'_, '_>> = workers
+    let mut pass_workers: Vec<PassWorker<'_>> = workers
         .iter_mut()
         .take(threads)
-        .map(|worker| PassWorker {
-            worker,
-            slice: Vec::with_capacity(ensemble.samples()),
+        .map(|worker| {
+            let stage = std::mem::take(&mut worker.stage);
+            let mut slice = std::mem::take(&mut worker.slice);
+            if slice.capacity() < frames.samples() {
+                slice.reserve_exact(frames.samples() - slice.capacity());
+            }
+            PassWorker {
+                worker,
+                stage,
+                slice,
+            }
         })
         .collect();
-    sops_par::parallel_map_with(times.len(), &mut pass_workers, |pw, ti| {
-        ensemble.at_time_into(times[ti], &mut pw.slice);
-        f(pw.worker, &pw.slice, ti)
-    })
+    let out = sops_par::parallel_map_with(times.len(), &mut pass_workers, |pw, ti| {
+        let mut slice = recycle_slice_vec(std::mem::take(&mut pw.slice));
+        frames.at_time_into(times[ti], &mut pw.stage, &mut slice);
+        let result = f(pw.worker, &slice, ti);
+        pw.slice = recycle_slice_vec(slice);
+        result
+    });
+    for pw in pass_workers {
+        pw.worker.stage = pw.stage;
+        pw.worker.slice = pw.slice;
+    }
+    out
 }
 
 /// Bounded retry policy of the panic-isolated cell executor: a cell is
@@ -663,13 +798,37 @@ impl SweepRunner {
                 })
                 .collect()
         };
-        let ensemble = match run_isolated(retry, || run_ensemble(&scenario.ensemble, plan.threads))
-        {
+        // Owned storage of the simulated ensemble; `EnsembleFrames`
+        // borrows whichever variant the plan's storage policy produced,
+        // and everything downstream is storage-agnostic.
+        enum Simulated {
+            Retained(Ensemble),
+            Streaming(StreamingEnsemble),
+        }
+        let simulated = match plan.storage {
+            EnsembleStorage::Retained => {
+                run_isolated(retry, || run_ensemble(&scenario.ensemble, plan.threads))
+                    .map(Simulated::Retained)
+            }
+            EnsembleStorage::Streaming { max_resident_bytes } => {
+                let times = scenario.eval_times();
+                let cfg = StreamingConfig { max_resident_bytes };
+                run_isolated(retry, || {
+                    run_streaming_ensemble(&scenario.ensemble, &times, plan.threads, &cfg)
+                })
+                .map(Simulated::Streaming)
+            }
+        };
+        let simulated = match simulated {
             Ok(e) => e,
             Err(reason) => return all_failed(&format!("simulation {reason}")),
         };
+        let frames = match &simulated {
+            Simulated::Retained(e) => EnsembleFrames::Retained(e),
+            Simulated::Streaming(s) => EnsembleFrames::Streaming(s),
+        };
         match run_isolated(retry, || {
-            self.evaluate(&ensemble, scenario, &plan.measures, plan.threads)
+            self.evaluate_frames(frames, scenario, &plan.measures, plan.threads)
         }) {
             Ok(results) => results
                 .into_iter()
@@ -685,7 +844,7 @@ impl SweepRunner {
                     .map(|mi| {
                         let one = std::slice::from_ref(&plan.measures[mi]);
                         match run_isolated(retry, || {
-                            self.evaluate(&ensemble, scenario, one, plan.threads)
+                            self.evaluate_frames(frames, scenario, one, plan.threads)
                         }) {
                             Ok(mut results) => {
                                 let result = results.pop().expect("one measure in, one result out");
@@ -702,16 +861,35 @@ impl SweepRunner {
         }
     }
 
-    /// Evaluates `measures` over an already-simulated ensemble in one
-    /// pass: per evaluated time step the cross-sample view, the shape
-    /// reduction and the observer matrix are built **once** and every
-    /// estimator runs on that shared prepared state. Returns one
-    /// [`PipelineResult`] per measure, each bit-identical to the
-    /// equivalent standalone [`crate::evaluate_ensemble`] call for any
-    /// `threads`.
+    /// Evaluates `measures` over an already-simulated retained ensemble.
+    /// Convenience form of [`SweepRunner::evaluate_frames`].
     pub fn evaluate(
         &mut self,
         ensemble: &Ensemble,
+        scenario: &ScenarioSpec,
+        measures: &[MeasureConfig],
+        threads: usize,
+    ) -> Vec<PipelineResult> {
+        self.evaluate_frames(
+            EnsembleFrames::Retained(ensemble),
+            scenario,
+            measures,
+            threads,
+        )
+    }
+
+    /// Evaluates `measures` over an already-simulated ensemble (retained
+    /// or streaming) in one pass: per evaluated time step the
+    /// cross-sample view, the shape reduction and the observer matrix are
+    /// built **once** and every estimator runs on that shared prepared
+    /// state. Returns one [`PipelineResult`] per measure, each
+    /// bit-identical to the equivalent standalone
+    /// [`crate::evaluate_ensemble`] call for any `threads` and either
+    /// storage variant (streaming ensembles must cover the scenario's
+    /// evaluation schedule).
+    pub fn evaluate_frames(
+        &mut self,
+        frames: EnsembleFrames<'_>,
         scenario: &ScenarioSpec,
         measures: &[MeasureConfig],
         threads: usize,
@@ -732,7 +910,7 @@ impl SweepRunner {
         let seed = scenario.ensemble.seed;
         let per_step: Vec<(Vec<f64>, f64)> = eval_pass(
             &mut self.workers,
-            ensemble,
+            frames,
             &times,
             threads,
             |w, slice, _ti| {
@@ -757,7 +935,7 @@ impl SweepRunner {
             },
         );
         let mean_icp_cost: Vec<f64> = per_step.iter().map(|&(_, c)| c).collect();
-        let equilibrated_fraction = ensemble.equilibrated_fraction();
+        let equilibrated_fraction = frames.equilibrated_fraction();
         (0..measures.len())
             .map(|mi| PipelineResult {
                 mi: MiSeries {
@@ -780,6 +958,8 @@ impl SweepRunner {
         for w in &self.workers {
             sig.extend(w.measure.capacity_signature());
             sig.extend(w.reduce.capacity_signature());
+            sig.push(w.stage.capacity());
+            sig.push(w.slice.capacity());
         }
         sig
     }
@@ -1071,6 +1251,60 @@ mod tests {
     }
 
     #[test]
+    fn gallery_extends_builtin_with_the_xl_tier() {
+        let gallery = ScenarioRegistry::gallery();
+        assert_eq!(
+            gallery.names(),
+            vec![
+                "cell_sorting",
+                "ring_formation",
+                "mixing_null",
+                "cell_sorting_xl"
+            ]
+        );
+        let xl = gallery.get("cell_sorting_xl").unwrap();
+        xl.ensemble.check().expect("xl spec is well-formed");
+        assert_eq!(xl.ensemble.model.particles(), 100_000);
+        assert_eq!(xl.reduce.mode, ReduceMode::Centred);
+        assert!(matches!(xl.observers, ObserverMode::TypeMeans { .. }));
+        // Density-preserving disc: radius grew as √(n / n_old).
+        let base = cell_sorting();
+        let expected = base.ensemble.init_radius * (100_000f64 / 40.0).sqrt();
+        assert!((xl.ensemble.init_radius - expected).abs() < 1e-9);
+        // Sparse schedule: the streaming layer retains only these frames.
+        assert_eq!(xl.eval_times(), vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn with_particles_preserves_density_and_law() {
+        let sc = cell_sorting().with_particles(160);
+        assert_eq!(sc.ensemble.model.particles(), 160);
+        // Same force law physics, same cut-off.
+        assert_eq!(
+            sc.ensemble.model.cutoff(),
+            cell_sorting().ensemble.model.cutoff()
+        );
+        assert_eq!(sc.ensemble.model.type_count(), 2);
+        // 4× the particles → 2× the radius: density constant.
+        let expected = cell_sorting().ensemble.init_radius * 2.0;
+        assert!((sc.ensemble.init_radius - expected).abs() < 1e-12);
+        // Balanced type split survives the rebuild.
+        let hist = sc.ensemble.model.type_histogram();
+        assert_eq!(hist, vec![80, 80]);
+    }
+
+    #[test]
+    fn invalid_ensemble_spec_is_an_invalid_plan() {
+        let mut bad = small_scenario("a", 1);
+        bad.ensemble.integrator.dt = 0.0;
+        let err = SweepPlan::new(vec![bad], vec![MeasureConfig::Gaussian])
+            .validate()
+            .unwrap_err();
+        assert!(matches!(&err, SweepError::InvalidPlan(r)
+            if r.contains('a') && r.contains("dt must be positive")));
+    }
+
+    #[test]
     fn plan_counts_and_validation() {
         let plan = SweepPlan::new(
             vec![small_scenario("a", 1), small_scenario("b", 2)],
@@ -1143,6 +1377,7 @@ mod tests {
             ],
             seeds: vec![],
             threads: 2,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), 4);
@@ -1184,6 +1419,7 @@ mod tests {
             measures: vec![MeasureConfig::Gaussian],
             seeds: vec![3, 4],
             threads: 1,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), 2);
@@ -1206,6 +1442,7 @@ mod tests {
             measures: vec![MeasureConfig::Gaussian, MeasureConfig::default()],
             seeds: vec![],
             threads: 1,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&plan).expect("valid plan");
         let rows = report.rows();
@@ -1253,6 +1490,7 @@ mod tests {
             ],
             seeds: vec![],
             threads: 1,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&plan).expect("valid plan");
         let k3 = report.get("a", "ksg", None).unwrap();
@@ -1349,6 +1587,7 @@ mod tests {
             ],
             seeds: vec![],
             threads: 1,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&poisoned).expect("quarantine, not abort");
         assert!(report.has_failures());
@@ -1364,6 +1603,7 @@ mod tests {
             measures: vec![MeasureConfig::Gaussian],
             seeds: vec![],
             threads: 1,
+            storage: EnsembleStorage::default(),
         })
         .expect("valid plan");
         let healthy = report.get("a", "gaussian", None).unwrap();

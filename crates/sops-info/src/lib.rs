@@ -60,7 +60,7 @@ pub use kde::{KdeConfig, KdeWorkspace};
 pub use ksg::{multi_information, pairwise_mi_matrix, KnnMode, KsgConfig, KsgVariant};
 pub use measure::{
     BinnedEstimator, Estimator, GaussianEstimator, KdeEstimator, KsgEstimator, MeasureConfig,
-    MeasureWorkspace,
+    MeasureWorkspace, StridedEstimator, StridedFamily,
 };
 pub use workspace::InfoWorkspace;
 

@@ -91,6 +91,33 @@ pub enum MeasureConfig {
     /// joint dimensions, or degenerate coordinates (see
     /// [`multi_information_gaussian`]).
     Gaussian,
+    /// A base family evaluated on a row-subsampled view: only every
+    /// `every`-th ensemble sample reaches the estimator. The estimator-side
+    /// escape hatch for schedules/ensembles too large for the base cost
+    /// (KSG is `O(m log m)` per evaluation but with a heavy constant at
+    /// large `m`). `every == 1` is bit-identical to the base family.
+    Strided {
+        /// The base family to run on the subsampled rows.
+        family: StridedFamily,
+        /// Row stride: rows `0, every, 2·every, …` are kept. Must be ≥ 1.
+        every: usize,
+    },
+}
+
+/// The base estimator family a [`MeasureConfig::Strided`] selection
+/// delegates to after subsampling rows. A mirror of the continuous
+/// [`MeasureConfig`] variants (the discrete plug-in is reachable via
+/// [`Binned`](StridedFamily::Binned) with [`discrete_plugin_config`]).
+#[derive(Debug, Clone, Copy)]
+pub enum StridedFamily {
+    /// KSG on the subsampled view.
+    Ksg(KsgConfig),
+    /// KDE on the subsampled view.
+    Kde(KdeConfig),
+    /// Shrinkage binning on the subsampled view.
+    Binned(BinningConfig),
+    /// Closed-form Gaussian on the subsampled view.
+    Gaussian,
 }
 
 impl Default for MeasureConfig {
@@ -107,6 +134,14 @@ impl MeasureConfig {
         match self {
             MeasureConfig::Ksg(cfg) => MeasureConfig::Ksg(KsgConfig { threads, ..cfg }),
             MeasureConfig::Kde(cfg) => MeasureConfig::Kde(KdeConfig { threads, ..cfg }),
+            MeasureConfig::Strided { family, every } => MeasureConfig::Strided {
+                family: match family {
+                    StridedFamily::Ksg(cfg) => StridedFamily::Ksg(KsgConfig { threads, ..cfg }),
+                    StridedFamily::Kde(cfg) => StridedFamily::Kde(KdeConfig { threads, ..cfg }),
+                    other => other,
+                },
+                every,
+            },
             other => other,
         }
     }
@@ -117,6 +152,10 @@ impl MeasureConfig {
     pub fn ksg_config(&self) -> KsgConfig {
         match self {
             MeasureConfig::Ksg(cfg) => *cfg,
+            MeasureConfig::Strided {
+                family: StridedFamily::Ksg(cfg),
+                ..
+            } => *cfg,
             _ => KsgConfig::default(),
         }
     }
@@ -129,6 +168,12 @@ impl MeasureConfig {
             MeasureConfig::Binned(_) => "binned",
             MeasureConfig::DiscretePlugin { .. } => "discrete",
             MeasureConfig::Gaussian => "gaussian",
+            MeasureConfig::Strided { family, .. } => match family {
+                StridedFamily::Ksg(_) => "strided_ksg",
+                StridedFamily::Kde(_) => "strided_kde",
+                StridedFamily::Binned(_) => "strided_binned",
+                StridedFamily::Gaussian => "strided_gaussian",
+            },
         }
     }
 
@@ -289,6 +334,119 @@ impl Estimator for GaussianEstimator {
     }
 }
 
+/// [`Estimator`] that forwards a row-subsampled copy of the prepared
+/// view (rows `0, every, 2·every, …`) to a base family's own persistent
+/// engine — the [`MeasureConfig::Strided`] implementation.
+///
+/// Owns one engine per base family so stride scratch and base scratch
+/// both stay warm across calls; `every == 1` forwards the view verbatim
+/// and is bit-identical to the plain selection.
+#[derive(Debug, Clone)]
+pub struct StridedEstimator {
+    /// Row stride (`max(1)` applied at prepare time).
+    pub every: usize,
+    /// Base family to run on the subsampled rows.
+    pub family: StridedFamily,
+    scratch: Vec<f64>,
+    sizes: Vec<usize>,
+    ksg: KsgEstimator,
+    kde: KdeEstimator,
+    binned: BinnedEstimator,
+    gaussian: GaussianEstimator,
+}
+
+impl Default for StridedEstimator {
+    fn default() -> Self {
+        StridedEstimator {
+            every: 1,
+            family: StridedFamily::Ksg(KsgConfig::default()),
+            scratch: Vec::new(),
+            sizes: Vec::new(),
+            ksg: KsgEstimator::default(),
+            kde: KdeEstimator::default(),
+            binned: BinnedEstimator::default(),
+            gaussian: GaussianEstimator::default(),
+        }
+    }
+}
+
+impl StridedEstimator {
+    /// An estimator with the given stride and base family, cold scratch.
+    pub fn new(family: StridedFamily, every: usize) -> Self {
+        StridedEstimator {
+            every,
+            family,
+            ..StridedEstimator::default()
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Estimator {
+        match self.family {
+            StridedFamily::Ksg(cfg) => {
+                self.ksg.cfg = cfg;
+                &mut self.ksg
+            }
+            StridedFamily::Kde(cfg) => {
+                self.kde.cfg = cfg;
+                &mut self.kde
+            }
+            StridedFamily::Binned(cfg) => {
+                self.binned.cfg = cfg;
+                &mut self.binned
+            }
+            StridedFamily::Gaussian => &mut self.gaussian,
+        }
+    }
+
+    fn capacity_signature(&self, sig: &mut Vec<usize>) {
+        sig.push(self.scratch.capacity());
+        sig.push(self.sizes.capacity());
+        sig.extend(self.ksg.ws.capacity_signature());
+        self.ksg.input.capacity_signature(sig);
+        sig.extend(self.kde.ws.capacity_signature());
+        self.kde.input.capacity_signature(sig);
+        sig.extend(self.binned.ws.capacity_signature());
+        self.binned.input.capacity_signature(sig);
+        self.gaussian.input.capacity_signature(sig);
+    }
+}
+
+impl Estimator for StridedEstimator {
+    fn prepare(&mut self, view: &SampleView<'_>) {
+        let every = self.every.max(1);
+        let stride: usize = view.block_sizes.iter().sum();
+        self.scratch.clear();
+        let mut rows = 0;
+        for row in (0..view.rows).step_by(every) {
+            self.scratch
+                .extend_from_slice(&view.data[row * stride..(row + 1) * stride]);
+            rows += 1;
+        }
+        self.sizes.clear();
+        self.sizes.extend_from_slice(view.block_sizes);
+        let strided = SampleView::new(&self.scratch, rows, &self.sizes);
+        match self.family {
+            StridedFamily::Ksg(cfg) => {
+                self.ksg.cfg = cfg;
+                self.ksg.prepare(&strided);
+            }
+            StridedFamily::Kde(cfg) => {
+                self.kde.cfg = cfg;
+                self.kde.prepare(&strided);
+            }
+            StridedFamily::Binned(cfg) => {
+                self.binned.cfg = cfg;
+                self.binned.prepare(&strided);
+            }
+            StridedFamily::Gaussian => self.gaussian.prepare(&strided),
+        }
+    }
+
+    fn estimate(&mut self) -> f64 {
+        self.inner_mut().estimate()
+    }
+}
+
 /// The binning parameters [`MeasureConfig::DiscretePlugin`] maps to: the
 /// ML plug-in over observed bin tuples (no shrinkage), which equals the
 /// discrete multi-information of [`crate::discrete`] on the binned data.
@@ -328,6 +486,7 @@ pub struct MeasureWorkspace {
     kde: KdeEstimator,
     binned: BinnedEstimator,
     gaussian: GaussianEstimator,
+    strided: StridedEstimator,
     cmi: CmiWorkspace,
 }
 
@@ -358,6 +517,11 @@ impl MeasureWorkspace {
                 unreachable!("normalized() resolves DiscretePlugin to Binned")
             }
             MeasureConfig::Gaussian => &mut self.gaussian,
+            MeasureConfig::Strided { family, every } => {
+                self.strided.family = family;
+                self.strided.every = every;
+                &mut self.strided
+            }
         }
     }
 
@@ -376,6 +540,11 @@ impl MeasureWorkspace {
                 unreachable!("normalized() resolves DiscretePlugin to Binned")
             }
             MeasureConfig::Gaussian => multi_information_gaussian(view),
+            MeasureConfig::Strided { family, every } => {
+                self.strided.family = family;
+                self.strided.every = every;
+                self.strided.measure(view)
+            }
         }
     }
 
@@ -440,6 +609,7 @@ impl MeasureWorkspace {
         sig.extend(self.binned.ws.capacity_signature());
         self.binned.input.capacity_signature(&mut sig);
         self.gaussian.input.capacity_signature(&mut sig);
+        self.strided.capacity_signature(&mut sig);
         sig.extend(self.cmi.capacity_signature());
         sig
     }
@@ -543,5 +713,85 @@ mod tests {
     #[should_panic(expected = "before prepare")]
     fn estimate_before_prepare_panics() {
         KsgEstimator::new(KsgConfig::default()).estimate();
+    }
+
+    #[test]
+    fn stride_one_is_bit_identical_to_the_base_family() {
+        let data = sample_gaussian(&equicorrelated_cov(3, 0.6), 600, 11);
+        let sizes = [1usize, 1, 1];
+        let view = SampleView::new(&data, 600, &sizes);
+        let mut ws = MeasureWorkspace::new();
+        let cases = [
+            (
+                MeasureConfig::Ksg(KsgConfig::default()),
+                StridedFamily::Ksg(KsgConfig::default()),
+            ),
+            (
+                MeasureConfig::Kde(KdeConfig::default()),
+                StridedFamily::Kde(KdeConfig::default()),
+            ),
+            (
+                MeasureConfig::Binned(BinningConfig::default()),
+                StridedFamily::Binned(BinningConfig::default()),
+            ),
+            (MeasureConfig::Gaussian, StridedFamily::Gaussian),
+        ];
+        for (base, family) in cases {
+            let plain = ws.multi_information(&view, &base);
+            let strided = ws.multi_information(&view, &MeasureConfig::Strided { family, every: 1 });
+            assert_eq!(
+                plain.to_bits(),
+                strided.to_bits(),
+                "stride 1 must be bit-identical for {}",
+                base.label()
+            );
+        }
+    }
+
+    #[test]
+    fn strided_equals_the_base_family_on_a_manually_subsampled_view() {
+        let every = 3;
+        let data = sample_gaussian(&equicorrelated_cov(2, 0.7), 500, 13);
+        let sizes = [1usize, 1];
+        let view = SampleView::new(&data, 500, &sizes);
+        let manual: Vec<f64> = (0..500)
+            .step_by(every)
+            .flat_map(|r| data[r * 2..(r + 1) * 2].to_vec())
+            .collect();
+        let manual_view = SampleView::new(&manual, manual.len() / 2, &sizes);
+        let mut ws = MeasureWorkspace::new();
+        let strided = ws.multi_information(
+            &view,
+            &MeasureConfig::Strided {
+                family: StridedFamily::Ksg(KsgConfig::default()),
+                every,
+            },
+        );
+        let reference = ws.multi_information(&manual_view, &MeasureConfig::default());
+        assert_eq!(strided.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn strided_labels_and_thread_override() {
+        let cfg = MeasureConfig::Strided {
+            family: StridedFamily::Kde(KdeConfig::default()),
+            every: 4,
+        };
+        assert_eq!(cfg.label(), "strided_kde");
+        assert!(matches!(
+            cfg.with_threads(6),
+            MeasureConfig::Strided {
+                family: StridedFamily::Kde(KdeConfig { threads: 6, .. }),
+                every: 4,
+            }
+        ));
+        assert_eq!(
+            MeasureConfig::Strided {
+                family: StridedFamily::Gaussian,
+                every: 2,
+            }
+            .label(),
+            "strided_gaussian"
+        );
     }
 }

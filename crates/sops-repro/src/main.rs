@@ -44,7 +44,9 @@
 //! | 4    | baseline check failed (takes precedence over 3)            |
 
 use sops_core::report::{write_summary_csv, write_summary_json, write_sweep_csv, write_sweep_json};
-use sops_core::scenario::{CellStatus, ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner};
+use sops_core::scenario::{
+    CellStatus, EnsembleStorage, ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner,
+};
 use sops_core::{figures, RunOptions, SweepBaseline, SweepCheckpoint, SweepError, SweepSummary};
 use sops_info::MeasureConfig;
 use std::process::ExitCode;
@@ -69,10 +71,14 @@ fn usage_text() -> String {
          \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]|A..B]\n\
          \x20                  [--fast] [--threads T] [--out DIR] [--no-out] [--list]\n\
          \x20                  [--save-baseline] [--check-baseline] [--baseline PATH]\n\
-         \x20                  [--checkpoint DIR] [--resume]\n\
+         \x20                  [--checkpoint DIR] [--resume] [--retained]\n\
          \x20      --seeds accepts inclusive ranges: 1..8 and 1..=8 both mean seeds 1-8\n\
          \x20      --checkpoint saves DIR/sweep_checkpoint.json after every ensemble;\n\
          \x20      --resume (requires --checkpoint) skips ensembles it already holds\n\
+         \x20      --retained materializes full trajectories (default streams only\n\
+         \x20      scheduled frames; results are bit-identical either way)\n\
+         \x20      --measure NAME@EVERY subsamples every EVERY-th ensemble sample\n\
+         \x20      before estimating (e.g. ksg@4; discrete has no strided form)\n\
          figures:  {}\n\
          measures: {}\n\
          exit codes: 0 ok, 1 i/o, 2 usage, 3 quarantined cells, 4 baseline check failed",
@@ -115,6 +121,17 @@ fn sweep_exit_code(quarantined: bool, baseline_failed: bool) -> u8 {
 }
 
 fn parse_measure(name: &str) -> Option<MeasureConfig> {
+    if let Some((base, every)) = name.split_once('@') {
+        let every: usize = every.parse().ok().filter(|&e| e >= 1)?;
+        let family = match base {
+            "ksg" => sops_info::StridedFamily::Ksg(sops_info::KsgConfig::default()),
+            "kde" => sops_info::StridedFamily::Kde(sops_info::KdeConfig::default()),
+            "binned" => sops_info::StridedFamily::Binned(sops_info::BinningConfig::default()),
+            "gaussian" => sops_info::StridedFamily::Gaussian,
+            _ => return None,
+        };
+        return Some(MeasureConfig::Strided { family, every });
+    }
     Some(match name {
         "ksg" => MeasureConfig::default(),
         "kde" => MeasureConfig::Kde(sops_info::KdeConfig::default()),
@@ -220,6 +237,7 @@ struct SweepArgs {
     baseline_path: std::path::PathBuf,
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
+    retained: bool,
 }
 
 /// One `--seeds` element: a plain seed (`7`) or an inclusive range
@@ -254,6 +272,7 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
         baseline_path: std::path::PathBuf::from("BASELINE_sweep.json"),
         checkpoint_dir: None,
         resume: false,
+        retained: false,
     };
     let csv = |value: &str| -> Vec<String> {
         value
@@ -314,6 +333,7 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
                 ));
             }
             "--resume" => args.resume = true,
+            "--retained" => args.retained = true,
             "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -341,7 +361,11 @@ fn fast_scenario(sc: ScenarioSpec) -> ScenarioSpec {
 
 fn run_sweep_cmd(argv: &[String]) -> ExitCode {
     let args = parse_sweep_args(argv);
-    let registry = ScenarioRegistry::builtin();
+    // Scenario names resolve against the full gallery (builtins plus the
+    // large-scale tier); an argument-free sweep runs only the lab-sized
+    // builtins, so nobody simulates 10⁵ particles by accident.
+    let registry = ScenarioRegistry::gallery();
+    let builtin = ScenarioRegistry::builtin();
     if args.list {
         for sc in registry.iter() {
             println!("{:<16} {}", sc.name, sc.description);
@@ -349,7 +373,7 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let names: Vec<&str> = if args.scenarios.is_empty() {
-        registry.names()
+        builtin.names()
     } else {
         args.scenarios.iter().map(|s| s.as_str()).collect()
     };
@@ -386,6 +410,11 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         measures,
         seeds: args.seeds,
         threads: args.threads,
+        storage: if args.retained {
+            EnsembleStorage::Retained
+        } else {
+            EnsembleStorage::default()
+        },
     };
     println!(
         "sweep — {} scenario(s) × {} measure(s) × {} seed(s): {} cells over {} ensembles (each simulated once){}",
@@ -578,5 +607,28 @@ mod tests {
         assert_eq!(error_exit_code(&unknown), 2);
         let invalid = SweepError::InvalidPlan("no measures".into());
         assert_eq!(error_exit_code(&invalid), 2);
+    }
+
+    #[test]
+    fn measure_parser_accepts_strided_selections() {
+        assert!(matches!(
+            parse_measure("ksg@4"),
+            Some(MeasureConfig::Strided {
+                family: sops_info::StridedFamily::Ksg(_),
+                every: 4,
+            })
+        ));
+        assert!(matches!(
+            parse_measure("gaussian@2"),
+            Some(MeasureConfig::Strided {
+                family: sops_info::StridedFamily::Gaussian,
+                every: 2,
+            })
+        ));
+        assert!(parse_measure("ksg@0").is_none(), "stride 0 is rejected");
+        assert!(parse_measure("ksg@").is_none());
+        assert!(parse_measure("discrete@2").is_none());
+        assert!(parse_measure("bogus@3").is_none());
+        assert!(matches!(parse_measure("ksg"), Some(MeasureConfig::Ksg(_))));
     }
 }

@@ -11,6 +11,21 @@ use crate::icp::{icp_align_with, IcpConfig, IcpScratch};
 use crate::permutation::{apply_matching, match_types_into, MatchScratch};
 use sops_math::Vec2;
 
+/// How much of the shape-space reduction to apply per sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Centre → ICP-align → optimal same-type re-indexing (paper §5.2).
+    /// The Hungarian matching step is O(k³) in the per-type particle
+    /// count, which caps this mode at lab scale.
+    #[default]
+    Full,
+    /// Centre on the centroid only: translation-free but not rotation- or
+    /// permutation-reduced. Linear in `n` — the tractable mode for the
+    /// 10⁵-particle gallery scenarios, where type-mean observers make the
+    /// per-particle correspondence irrelevant anyway.
+    Centred,
+}
+
 /// Configuration for [`reduce_configurations`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReduceConfig {
@@ -20,6 +35,8 @@ pub struct ReduceConfig {
     pub reference: usize,
     /// Worker threads (0 = default).
     pub threads: usize,
+    /// Which reduction steps to apply.
+    pub mode: ReduceMode,
 }
 
 /// The reduced (isometry- and permutation-free) representative of each
@@ -153,6 +170,9 @@ pub fn reduce_configurations_with(
             moving.clear();
             moving.extend_from_slice(samples[s]);
             crate::center(moving);
+            if cfg.mode == ReduceMode::Centred {
+                return (moving.clone(), 0.0);
+            }
             let res = icp_align_with(icp, reference, moving, types, &cfg.icp);
             res.transform.apply_all(moving);
             match_types_into(matching, reference, moving, types, perm);
@@ -286,6 +306,42 @@ mod tests {
                     let d1 = r1.configs[s][i].dist(r1.configs[s][j]);
                     assert!((d0 - d1).abs() < 1e-6);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn centred_mode_skips_alignment_but_centres() {
+        let (base, types) = base_shape();
+        let rot: Vec<Vec2> = base
+            .iter()
+            .map(|&p| {
+                RigidTransform {
+                    rotation: 0.8,
+                    translation: Vec2::new(50.0, -20.0),
+                }
+                .apply(p)
+            })
+            .collect();
+        let views: Vec<&[Vec2]> = vec![&base, &rot];
+        let cfg = ReduceConfig {
+            mode: ReduceMode::Centred,
+            ..ReduceConfig::default()
+        };
+        let reduced = reduce_configurations(&views, &types, &cfg);
+        // Every output is centred and every cost is exactly zero (no ICP ran).
+        for c in &reduced.configs {
+            assert!(Vec2::centroid(c).norm() < 1e-9);
+        }
+        assert_eq!(reduced.icp_costs, vec![0.0, 0.0]);
+        // The rotation survives: sample 1 is NOT aligned to sample 0.
+        assert!((reduced.configs[1][1] - reduced.configs[0][1]).norm() > 1e-3);
+        // But pairwise distances (the shape) are untouched by centring.
+        for i in 0..base.len() {
+            for j in (i + 1)..base.len() {
+                let d0 = base[i].dist(base[j]);
+                let d1 = reduced.configs[1][i].dist(reduced.configs[1][j]);
+                assert!((d0 - d1).abs() < 1e-9);
             }
         }
     }

@@ -28,7 +28,7 @@ pub mod permutation;
 pub use assignment::{hungarian, hungarian_with, HungarianScratch};
 pub use distance::{cluster_shapes, shape_distance};
 pub use ensemble::{
-    reduce_configurations, reduce_configurations_with, ReduceConfig, ReduceWorkspace,
+    reduce_configurations, reduce_configurations_with, ReduceConfig, ReduceMode, ReduceWorkspace,
 };
 pub use icp::{icp_align, icp_align_with, IcpConfig, IcpResult, IcpScratch};
 pub use kabsch::{fit_rigid, RigidTransform};

@@ -32,12 +32,29 @@ pub struct EnsembleSpec {
 }
 
 impl EnsembleSpec {
+    /// Typed validation: `Err` carries the first violated constraint, in
+    /// the same wording [`EnsembleSpec::validate`] panics with. Sweep
+    /// entry points surface this as `SweepError::InvalidPlan` up front
+    /// instead of quarantining the panic per ensemble.
+    pub fn check(&self) -> Result<(), String> {
+        self.integrator.check()?;
+        if self.init_radius.is_nan() || self.init_radius <= 0.0 {
+            return Err("EnsembleSpec: init radius".into());
+        }
+        if self.t_max == 0 {
+            return Err("EnsembleSpec: t_max must be >= 1".into());
+        }
+        if self.samples == 0 {
+            return Err("EnsembleSpec: need at least one sample".into());
+        }
+        Ok(())
+    }
+
     /// Validates the specification; called by [`run_ensemble`].
     pub fn validate(&self) {
-        self.integrator.validate();
-        assert!(self.init_radius > 0.0, "EnsembleSpec: init radius");
-        assert!(self.t_max > 0, "EnsembleSpec: t_max must be >= 1");
-        assert!(self.samples > 0, "EnsembleSpec: need at least one sample");
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
+        }
     }
 }
 

@@ -62,15 +62,31 @@ impl Default for IntegratorConfig {
 }
 
 impl IntegratorConfig {
+    /// Typed validation: `Err` carries the first violated constraint, in
+    /// the same wording [`IntegratorConfig::validate`] panics with. Sweep
+    /// entry points surface this as `SweepError::InvalidPlan` instead of
+    /// unwinding.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err("dt must be positive".into());
+        }
+        if self.substeps == 0 {
+            return Err("substeps must be >= 1".into());
+        }
+        if self.noise_variance.is_nan() || self.noise_variance < 0.0 {
+            return Err("noise variance must be non-negative".into());
+        }
+        if self.max_step.is_nan() || self.max_step <= 0.0 {
+            return Err("max_step must be positive".into());
+        }
+        Ok(())
+    }
+
     /// Validates the configuration; called by [`crate::Simulation`].
     pub fn validate(&self) {
-        assert!(self.dt > 0.0 && self.dt.is_finite(), "dt must be positive");
-        assert!(self.substeps > 0, "substeps must be >= 1");
-        assert!(
-            self.noise_variance >= 0.0,
-            "noise variance must be non-negative"
-        );
-        assert!(self.max_step > 0.0, "max_step must be positive");
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
+        }
     }
 
     /// A noiseless copy — used by deterministic tests and by the

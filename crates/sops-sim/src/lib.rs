@@ -31,6 +31,9 @@
 //! * [`init`] — the uniform-disc initial distribution (§5.1).
 //! * [`ensemble`] — `m` independent runs in parallel with derived seeds
 //!   (bit-reproducible regardless of thread count).
+//! * [`streaming`] — out-of-core ensembles that retain only scheduled
+//!   snapshot frames (optionally spilled to disk), bit-identical to the
+//!   retained trajectories at the same times.
 
 pub mod ensemble;
 pub mod force;
@@ -38,6 +41,7 @@ pub mod init;
 pub mod integrator;
 pub mod model;
 pub mod sim;
+pub mod streaming;
 pub mod workspace;
 
 pub use ensemble::{run_ensemble, Ensemble, EnsembleSpec};
@@ -45,6 +49,9 @@ pub use force::{ForceLaw, ForceModel, GaussianForce, LinearForce};
 pub use integrator::IntegratorConfig;
 pub use model::Model;
 pub use sim::{EquilibriumCriterion, Simulation, Trajectory};
+pub use streaming::{
+    run_streaming_ensemble, EnsembleFrames, SpillStore, StreamingConfig, StreamingEnsemble,
+};
 pub use workspace::ForceWorkspace;
 
 /// Default noise level: the paper's `w ~ N(0, 0.05)` read as *variance* per

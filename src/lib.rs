@@ -62,19 +62,21 @@ pub use sops_spatial as spatial;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sops_core::{
-        evaluate_ensemble, run_pipeline, run_sweep, CellStatus, MiSeries, ObserverMode, Pipeline,
-        PipelineResult, RetryPolicy, RunOptions, ScenarioRegistry, ScenarioSpec, SummaryConfig,
-        SweepBaseline, SweepCell, SweepCheckpoint, SweepError, SweepPlan, SweepReport, SweepRunner,
-        SweepSummary,
+        evaluate_ensemble, run_pipeline, run_sweep, CellStatus, EnsembleStorage, MiSeries,
+        ObserverMode, Pipeline, PipelineResult, RetryPolicy, RunOptions, ScenarioRegistry,
+        ScenarioSpec, SummaryConfig, SweepBaseline, SweepCell, SweepCheckpoint, SweepError,
+        SweepPlan, SweepReport, SweepRunner, SweepSummary,
     };
     pub use sops_info::{
         InfoWorkspace, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace, SampleView,
+        StridedFamily,
     };
     pub use sops_math::{Matrix, PairMatrix, SplitMix64, Vec2};
     pub use sops_shape::{icp_align, IcpConfig, RigidTransform};
     pub use sops_sim::{
-        run_ensemble, EnsembleSpec, EquilibriumCriterion, ForceModel, ForceWorkspace,
-        GaussianForce, IntegratorConfig, LinearForce, Model, Simulation,
+        run_ensemble, run_streaming_ensemble, EnsembleFrames, EnsembleSpec, EquilibriumCriterion,
+        ForceModel, ForceWorkspace, GaussianForce, IntegratorConfig, LinearForce, Model,
+        Simulation, StreamingConfig, StreamingEnsemble,
     };
 }
 

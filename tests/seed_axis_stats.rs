@@ -29,6 +29,7 @@ fn smoke_plan(seeds: Vec<u64>, threads: usize) -> SweepPlan {
         measures: vec![MeasureConfig::default()],
         seeds,
         threads,
+        storage: EnsembleStorage::default(),
     }
 }
 

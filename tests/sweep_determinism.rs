@@ -62,6 +62,7 @@ fn sweep_report_bit_matches_single_pipeline_sequence() {
             measures: measures.clone(),
             seeds: vec![],
             threads,
+            storage: EnsembleStorage::default(),
         };
         let report = run_sweep(&plan).expect("valid plan");
         assert_eq!(report.cells.len(), scenarios.len() * measures.len());
@@ -120,6 +121,7 @@ fn warm_sweep_runner_does_not_allocate() {
         measures: measure_axis(),
         seeds: vec![],
         threads: 1,
+        storage: EnsembleStorage::default(),
     };
     assert_eq!(plan.cell_count(), 8);
     let mut runner = SweepRunner::new();

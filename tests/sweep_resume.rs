@@ -19,7 +19,7 @@
 //!   `--resume` fallback) still yields the uninterrupted result.
 
 use sops::prelude::*;
-use sops::sim::force::{ForceModel, LinearForce};
+use sops::sim::force::{ForceLaw, ForceModel, LinearForce};
 use std::path::PathBuf;
 
 /// A small 2-type attracting system that visibly organizes.
@@ -54,6 +54,7 @@ fn resume_plan(threads: usize) -> SweepPlan {
         ],
         seeds: vec![5, 6],
         threads,
+        storage: EnsembleStorage::default(),
     }
 }
 
@@ -202,14 +203,32 @@ fn panicking_estimator_is_quarantined_and_resumes_as_is() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// A panicking *simulation* (invalid integrator config trips
-/// `EnsembleSpec::validate` inside `run_ensemble`) quarantines every
-/// cell of that ensemble with a `simulation …` reason; the other
-/// scenario's ensembles are unaffected.
+/// A panicking *simulation* (a force law that detonates mid-sweep — the
+/// spec itself passes `EnsembleSpec::check`, so the failure only
+/// surfaces inside `run_ensemble`) quarantines every cell of that
+/// ensemble with a `simulation …` reason; the other scenario's ensembles
+/// are unaffected.
 #[test]
 fn panicking_simulation_quarantines_the_whole_ensemble() {
+    #[derive(Debug)]
+    struct Grenade;
+    impl ForceLaw for Grenade {
+        fn types(&self) -> usize {
+            2
+        }
+        fn scale(&self, _: usize, _: usize, _: f64) -> f64 {
+            panic!("force law detonated")
+        }
+        fn preferred_distance(&self, _: usize, _: usize) -> Option<f64> {
+            None
+        }
+    }
     let mut plan = resume_plan(1);
-    plan.scenarios[1].ensemble.integrator.dt = 0.0; // "dt must be positive"
+    plan.scenarios[1].ensemble.model = Model::balanced(
+        8,
+        ForceModel::Custom(std::sync::Arc::new(Grenade)),
+        f64::INFINITY,
+    );
 
     let report = run_sweep(&plan).expect("quarantine must not abort the sweep");
     assert_eq!(report.cells.len(), 8);
@@ -218,7 +237,7 @@ fn panicking_simulation_quarantines_the_whole_ensemble() {
             match &cell.status {
                 CellStatus::Failed { reason } => {
                     assert!(reason.starts_with("simulation"), "{reason}");
-                    assert!(reason.contains("dt must be positive"), "{reason}");
+                    assert!(reason.contains("force law detonated"), "{reason}");
                 }
                 ok => panic!("cell of broken scenario unexpectedly {ok:?}"),
             }
@@ -226,6 +245,32 @@ fn panicking_simulation_quarantines_the_whole_ensemble() {
             assert_eq!(cell.status, CellStatus::Ok, "{}", cell.scenario);
         }
     }
+}
+
+/// An *invalid* ensemble spec is no longer a quarantined panic: the plan
+/// is rejected up front with a typed `SweepError::InvalidPlan` naming
+/// the offending scenario (the PR 7 error spine, extended to the
+/// simulation-side validators).
+#[test]
+fn invalid_integrator_is_a_typed_plan_error_not_a_quarantine() {
+    let mut plan = resume_plan(1);
+    plan.scenarios[1].ensemble.integrator.dt = 0.0;
+    let err = run_sweep(&plan).expect_err("dt == 0 must be rejected up front");
+    match &err {
+        SweepError::InvalidPlan(reason) => {
+            assert!(reason.contains("other"), "{reason}");
+            assert!(reason.contains("dt must be positive"), "{reason}");
+        }
+        other => panic!("expected InvalidPlan, got {other}"),
+    }
+    // The same spine catches a degenerate sample axis.
+    let mut plan = resume_plan(1);
+    plan.scenarios[0].ensemble.samples = 0;
+    let err = run_sweep(&plan).expect_err("zero samples must be rejected up front");
+    assert!(
+        matches!(&err, SweepError::InvalidPlan(r) if r.contains("at least one sample")),
+        "{err}"
+    );
 }
 
 /// Torn and drifted checkpoints are rejected with typed errors — and

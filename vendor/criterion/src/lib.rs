@@ -37,8 +37,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Results collected by every benchmark run in this process, in execution
-/// order: `(full id, median seconds/iter, total iterations)`.
-static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+/// order: `(full id, median seconds/iter, total iterations, peak RSS in
+/// bytes observed right after the benchmark finished)`.
+static RESULTS: Mutex<Vec<(String, f64, u64, u64)>> = Mutex::new(Vec::new());
 
 /// `--quick` mode: reduced time budgets for CI smoke runs.
 static QUICK: AtomicBool = AtomicBool::new(false);
@@ -46,6 +47,13 @@ static QUICK: AtomicBool = AtomicBool::new(false);
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Whether `--quick` was requested — benches with giant fixtures can
+/// downscale them for smoke runs (the JSON's `quick` flag already keeps
+/// such numbers out of full-run comparisons).
+pub fn is_quick() -> bool {
+    QUICK.load(Ordering::Relaxed)
 }
 
 /// Top-level harness handle; one per `criterion_group!` function list.
@@ -214,10 +222,38 @@ fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Ben
         "bench {full} ... median {scaled:.3} {unit}/iter (n = {})",
         b.iters
     );
-    RESULTS
-        .lock()
-        .expect("criterion: results poisoned")
-        .push((full, b.median, b.iters));
+    RESULTS.lock().expect("criterion: results poisoned").push((
+        full,
+        b.median,
+        b.iters,
+        peak_rss_bytes(),
+    ));
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the kernel does not expose it
+/// (non-Linux). The high-water mark is monotone over the process
+/// lifetime, so the per-result snapshots attribute growth to the first
+/// benchmark that caused it — memory-sensitive groups should order their
+/// lean cases before their hungry ones.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+    }
+    0
 }
 
 /// Parses the harness flags out of the process arguments. Returns the
@@ -266,16 +302,22 @@ fn detected_parallelism() -> usize {
 }
 
 /// Serializes every collected result. `quick` runs are flagged so a
-/// perf-tracking consumer never compares smoke numbers against full ones,
-/// and the machine's available parallelism is recorded alongside.
-fn results_to_json(results: &[(String, f64, u64)]) -> String {
+/// perf-tracking consumer never compares smoke numbers against full ones;
+/// the machine's available parallelism and the process-wide peak RSS are
+/// recorded alongside (both 0 where undetectable). Each result carries
+/// the high-water mark observed when it finished, so a memory-tiered
+/// group that runs its lean cases first shows each tier's footprint.
+/// Old baselines without `peak_rss_bytes` stay loadable: consumers
+/// (`bench_regression`) read only `name` and `median_ns`.
+fn results_to_json(results: &[(String, f64, u64, u64)]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"quick\": {},\n  \"parallelism\": {},\n  \"results\": [\n",
+        "  \"quick\": {},\n  \"parallelism\": {},\n  \"peak_rss_bytes\": {},\n  \"results\": [\n",
         QUICK.load(Ordering::Relaxed),
-        detected_parallelism()
+        detected_parallelism(),
+        peak_rss_bytes()
     ));
-    for (i, (name, median, iters)) in results.iter().enumerate() {
+    for (i, (name, median, iters, rss)) in results.iter().enumerate() {
         let escaped: String = name
             .chars()
             .flat_map(|c| match c {
@@ -284,7 +326,8 @@ fn results_to_json(results: &[(String, f64, u64)]) -> String {
             })
             .collect();
         out.push_str(&format!(
-            "    {{\"name\": \"{escaped}\", \"median_ns\": {:.3}, \"iters\": {iters}}}{}\n",
+            "    {{\"name\": \"{escaped}\", \"median_ns\": {:.3}, \"iters\": {iters}, \
+             \"peak_rss_bytes\": {rss}}}{}\n",
             median * 1e9,
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -363,13 +406,20 @@ mod tests {
     #[test]
     fn json_serialization_shape() {
         let results = vec![
-            ("net_forces/cutoff_grid/512".to_string(), 34.459e-6, 810u64),
-            ("with \"quote\"".to_string(), 1.5e-9, 2),
+            (
+                "net_forces/cutoff_grid/512".to_string(),
+                34.459e-6,
+                810u64,
+                7_340_032u64,
+            ),
+            ("with \"quote\"".to_string(), 1.5e-9, 2, 8_388_608),
         ];
         let json = results_to_json(&results);
         assert!(json.contains("\"name\": \"net_forces/cutoff_grid/512\""));
         assert!(json.contains("\"median_ns\": 34459.000"));
         assert!(json.contains("\"iters\": 810"));
+        assert!(json.contains("\"peak_rss_bytes\": 7340032"));
+        assert!(json.contains("\"peak_rss_bytes\": 8388608"));
         assert!(json.contains("with \\\"quote\\\""));
         assert!(json.contains("\"results\": ["));
         // Exactly one separating comma between the two entries.
@@ -383,10 +433,16 @@ mod tests {
     }
 
     #[test]
-    fn json_records_parallelism() {
+    fn json_records_parallelism_and_peak_rss() {
         let json = results_to_json(&[]);
         let n = detected_parallelism();
         assert!(json.contains(&format!("\"parallelism\": {n},")));
+        // Top-level peak RSS sits next to parallelism; on Linux it is a
+        // real, nonzero high-water mark.
+        assert!(json.contains("\"peak_rss_bytes\": "));
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes() > 0, "VmHWM should be readable on Linux");
+        }
     }
 
     #[test]
