@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sops_bench::cloud;
-use sops_core::{scenario, EnsembleStorage, SweepPlan, SweepRunner};
+use sops_core::{
+    checkpoint, scenario, CellCache, EnsembleStorage, SweepBroker, SweepPlan, SweepRunner,
+};
 use sops_info::MeasureConfig;
 use sops_math::{PairMatrix, Vec2};
 use sops_sim::ensemble::{run_ensemble, EnsembleSpec};
@@ -255,6 +257,74 @@ fn bench_ensemble_scale(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_cache(c: &mut Criterion) {
+    // What the content-addressed cell cache buys: `cold_compute` pays the
+    // full simulate + reduce + measure + store cost for one fast
+    // cell_sorting cell, `warm_hit` answers the same request from disk
+    // (the gated case: a hit must stay ≥ ~100× cheaper than the compute),
+    // and `coalesced_pair` issues two identical concurrent requests
+    // through the broker — the pair should cost about one compute, not
+    // two, because the second request joins the first's in-flight pass.
+    let mut group = c.benchmark_group("sweep_cache");
+    group.sample_size(10);
+    let sc = scenario::cell_sorting().with_scale(40, 20);
+    let measure = MeasureConfig::Gaussian;
+    let plan = SweepPlan {
+        scenarios: vec![sc.clone()],
+        measures: vec![measure],
+        seeds: vec![],
+        threads: 1,
+        storage: EnsembleStorage::default(),
+    };
+    let key = checkpoint::cell_key(&sc, &measure).expect("registry scenarios serialize");
+    let dir = std::env::temp_dir().join("sops_bench_sweep_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CellCache::open(&dir).expect("temp cache dir");
+
+    group.bench_function("cold_compute", |b| {
+        let mut runner = SweepRunner::new();
+        b.iter(|| {
+            // Evict the entry so every iteration simulates and stores.
+            let _ = std::fs::remove_file(cache.entry_path(key));
+            let report = runner
+                .run_with_cache(black_box(&plan), &cache)
+                .expect("valid plan");
+            assert!(!report.has_failures());
+            black_box(report.cells.len())
+        })
+    });
+
+    // One stored copy; every iteration below is a pure disk hit.
+    let mut runner = SweepRunner::new();
+    runner.run_with_cache(&plan, &cache).expect("valid plan");
+    group.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            let report = runner
+                .run_with_cache(black_box(&plan), &cache)
+                .expect("valid plan");
+            assert!(!report.has_failures());
+            black_box(report.cells.len())
+        })
+    });
+
+    group.bench_function("coalesced_pair", |b| {
+        // Uncached broker: each iteration recomputes, and the concurrent
+        // duplicate dedupes onto the in-flight pass.
+        let broker = std::sync::Arc::new(SweepBroker::new());
+        b.iter(|| {
+            let spawn = || {
+                let broker = std::sync::Arc::clone(&broker);
+                let plan = plan.clone();
+                std::thread::spawn(move || broker.run(&plan).expect("valid plan").cells.len())
+            };
+            let (a, b2) = (spawn(), spawn());
+            black_box(a.join().unwrap() + b2.join().unwrap())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_force_paths,
@@ -263,6 +333,7 @@ criterion_group!(
     bench_force_families,
     bench_substeps_ablation,
     bench_ensemble_throughput,
-    bench_ensemble_scale
+    bench_ensemble_scale,
+    bench_sweep_cache
 );
 criterion_main!(benches);

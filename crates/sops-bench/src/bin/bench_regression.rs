@@ -20,9 +20,17 @@ use std::process::ExitCode;
 use sops_core::wire::{self, Value};
 
 /// The gated groups: the two hot kernels of the ΔI pipeline (force
-/// half-sweep, Chebyshev kNN) plus the pairwise-matrix driver that
-/// dominates figure reproduction.
-const KERNEL_GROUPS: [&str; 3] = ["net_forces/", "ksg_scaling/", "pairwise_matrix/"];
+/// half-sweep, Chebyshev kNN), the pairwise-matrix driver that
+/// dominates figure reproduction, and the cell cache's warm-hit path
+/// (a hit regressing toward recompute cost defeats the cache; the
+/// compute-bound `cold_compute`/`coalesced_pair` cases are ungated
+/// context).
+const KERNEL_GROUPS: [&str; 4] = [
+    "net_forces/",
+    "ksg_scaling/",
+    "pairwise_matrix/",
+    "sweep_cache/warm_hit",
+];
 
 /// Fail only above this fresh/committed median ratio.
 const TOLERANCE: f64 = 1.5;
@@ -132,6 +140,9 @@ mod tests {
         assert!(is_kernel_case("net_forces/cutoff_grid/800"));
         assert!(is_kernel_case("ksg_scaling/m1000_n40"));
         assert!(is_kernel_case("pairwise_matrix/m600_n16"));
+        assert!(is_kernel_case("sweep_cache/warm_hit"));
+        assert!(!is_kernel_case("sweep_cache/cold_compute"));
+        assert!(!is_kernel_case("sweep_cache/coalesced_pair"));
         assert!(!is_kernel_case("ensemble/8"));
         assert!(!is_kernel_case("force_crossover/kd_tree/12"));
         assert!(!is_kernel_case("integrator_substeps/4"));

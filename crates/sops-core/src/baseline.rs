@@ -401,6 +401,7 @@ mod tests {
                     measure_label: "ksg".into(),
                     seed,
                     status: CellStatus::Ok,
+                    provenance: crate::scenario::CellProvenance::Computed,
                     result: PipelineResult {
                         mi: MiSeries {
                             times: vec![0, 10],

@@ -40,7 +40,9 @@
 
 use crate::error::SweepError;
 use crate::pipeline::{MiSeries, PipelineResult};
-use crate::scenario::{measure_labels, CellStatus, ScenarioSpec, SweepCell, SweepPlan};
+use crate::scenario::{
+    measure_labels, CellProvenance, CellStatus, ScenarioSpec, SweepCell, SweepPlan,
+};
 use crate::wire::{self, Value};
 use sops_info::measure::MeasureConfig;
 use sops_math::PairMatrix;
@@ -260,6 +262,57 @@ pub fn plan_wire(plan: &SweepPlan) -> Result<String, SweepError> {
 /// binds a checkpoint to the exact experiment that produced it.
 pub fn plan_fingerprint(plan: &SweepPlan) -> Result<u64, SweepError> {
     Ok(wire::fnv1a64(plan_wire(plan)?.as_bytes()))
+}
+
+/// Schema tag of the per-cell wire form ([`cell_wire`]) — bumped whenever
+/// the cell key's byte layout changes, so a new key schema can never
+/// collide with entries addressed under the old one.
+pub const CELL_SCHEMA: &str = "sops-cell/v1";
+
+/// The canonical wire form of one sweep cell's *identity*: everything
+/// that determines the cell's result — the scenario's physics (model,
+/// force law, integrator, init, horizon, samples, **seed**, equilibration
+/// criterion), its shape reduction, observer construction and evaluation
+/// schedule, and the measure selection — and nothing that doesn't (every
+/// `threads` field, the ensemble storage policy and human-only scenario
+/// descriptions are excluded, exactly as in [`plan_wire`]; both forms are
+/// built from the same private wire helpers, so they cannot drift apart).
+///
+/// This is the shared identity layer under both persistence mechanisms:
+/// checkpoints bind whole plans via [`plan_fingerprint`], while the
+/// content-addressed cell cache ([`crate::cache::CellCache`]) addresses
+/// single cells via [`cell_key`] — so two different sweep plans that
+/// share a cell share its cache entry. The layout is pinned by a unit
+/// test against known key values; any change must bump [`CELL_SCHEMA`].
+///
+/// `Err` only for cells with no stable wire form
+/// ([`ForceModel::Custom`], [`SweepError::Unserializable`]).
+///
+/// The scenario's own `ensemble.seed` is the seed that binds the key:
+/// callers sweeping a seed axis must pass the reseeded spec
+/// ([`ScenarioSpec::with_seed`]), as [`crate::SweepRunner`] does.
+pub fn cell_wire(scenario: &ScenarioSpec, measure: &MeasureConfig) -> Result<String, SweepError> {
+    Ok(format!(
+        "{{\"schema\":\"{CELL_SCHEMA}\",\"scenario\":{},\"measure\":{}}}",
+        scenario_wire(scenario)?,
+        measure_wire(measure)
+    ))
+}
+
+/// FNV-1a 64 over [`cell_wire`]: the content address of one sweep cell,
+/// shared by every plan that contains the cell. See [`cell_wire`] for
+/// what it covers.
+pub fn cell_key(scenario: &ScenarioSpec, measure: &MeasureConfig) -> Result<u64, SweepError> {
+    Ok(wire::fnv1a64(cell_wire(scenario, measure)?.as_bytes()))
+}
+
+/// FNV-1a 64 over the scenario's canonical wire form: the identity of one
+/// (scenario, seed) *ensemble* — what every cell measured on that
+/// ensemble shares. [`crate::broker::SweepBroker`] batches concurrent
+/// requests with equal ensemble keys into one simulation pass. Same
+/// inclusion/exclusion rules as [`cell_wire`].
+pub fn ensemble_key(scenario: &ScenarioSpec) -> Result<u64, SweepError> {
+    Ok(wire::fnv1a64(scenario_wire(scenario)?.as_bytes()))
 }
 
 // ---------------------------------------------------------------------
@@ -557,6 +610,9 @@ fn cell_from_json(
         measure_label: label,
         seed,
         status,
+        // Provenance is not part of the wire format (it is run metadata,
+        // not a result); a parsed cell is by definition a restored one.
+        provenance: CellProvenance::Restored,
         result: PipelineResult {
             mi: MiSeries { times, values },
             mean_icp_cost,
@@ -597,6 +653,7 @@ mod tests {
             measure_label: label.into(),
             seed,
             status,
+            provenance: CellProvenance::Computed,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 4, 8],
@@ -782,6 +839,57 @@ mod tests {
         assert_ne!(plan_fingerprint(&restrided).unwrap(), strided_fp);
         restrided.measures[1] = strided(2, 6);
         assert_eq!(plan_fingerprint(&restrided).unwrap(), strided_fp);
+    }
+
+    #[test]
+    fn cell_key_excludes_result_invariant_knobs_and_binds_physics() {
+        let plan = tiny_plan();
+        let sc = plan.scenarios[0].clone();
+        let key = cell_key(&sc, &plan.measures[0]).unwrap();
+        // Worker counts and prose never bind the key…
+        let mut retuned = sc.clone();
+        retuned.reduce.threads = 4;
+        retuned.description = "edited prose".into();
+        assert_eq!(cell_key(&retuned, &plan.measures[0]).unwrap(), key);
+        assert_eq!(
+            cell_key(&sc, &plan.measures[0].with_threads(8)).unwrap(),
+            key
+        );
+        // …but seed, scale, schedule and measure all do.
+        assert_ne!(
+            cell_key(&sc.clone().with_seed(99), &plan.measures[0]).unwrap(),
+            key
+        );
+        assert_ne!(
+            cell_key(&sc.clone().with_scale(20, 8), &plan.measures[0]).unwrap(),
+            key
+        );
+        let mut rescheduled = sc.clone();
+        rescheduled.eval_every = 7;
+        assert_ne!(cell_key(&rescheduled, &plan.measures[0]).unwrap(), key);
+        assert_ne!(cell_key(&sc, &plan.measures[1]).unwrap(), key);
+    }
+
+    /// Pins the cell-key schema: these hex literals were computed once
+    /// from the v1 wire layout. If this test fails, the key schema
+    /// drifted — existing cache entries would silently miss (or worse,
+    /// collide with entries written under the old layout). Deliberate
+    /// changes must bump [`CELL_SCHEMA`] *and* re-pin these values.
+    #[test]
+    fn cell_key_values_are_pinned_against_schema_drift() {
+        let plan = tiny_plan();
+        let gaussian = cell_key(&plan.scenarios[0], &plan.measures[0]).unwrap();
+        let ksg = cell_key(&plan.scenarios[0], &plan.measures[1]).unwrap();
+        let null = cell_key(&plan.scenarios[1], &plan.measures[0]).unwrap();
+        assert_eq!(
+            (gaussian, ksg, null),
+            (
+                0x14d9_de4c_2acb_d781,
+                0xb2c4_873c_41a9_0684,
+                0x5ca1_644d_637f_3a91
+            ),
+            "cell key schema drifted: got ({gaussian:#018x}, {ksg:#018x}, {null:#018x})"
+        );
     }
 
     #[test]

@@ -30,8 +30,18 @@
 //! [`checkpoint`] persists completed cells (schema
 //! `sops-sweep-checkpoint/v1`, shared [`wire`] machinery) so an
 //! interrupted sweep resumes bit-identically.
+//!
+//! Determinism also makes every cell memoizable: [`cache`] is a
+//! content-addressed on-disk cell store (keyed by
+//! [`checkpoint::cell_key`]) that [`SweepRunner::run_with_cache`]
+//! consults before simulating, and [`broker`] coalesces concurrent sweep
+//! requests over it — same-cell requests dedupe to one computation,
+//! same-ensemble requests batch into one simulation pass. The
+//! `sops-serve` crate puts an HTTP front end on the broker.
 
 pub mod baseline;
+pub mod broker;
+pub mod cache;
 pub mod checkpoint;
 pub mod dynamics;
 pub mod error;
@@ -45,13 +55,15 @@ pub mod summary;
 pub mod wire;
 
 pub use baseline::SweepBaseline;
+pub use broker::{BrokerStats, SweepBroker};
+pub use cache::{CacheStats, CellCache};
 pub use checkpoint::SweepCheckpoint;
 pub use error::SweepError;
 pub use observers::ObserverMode;
 pub use pipeline::{evaluate_ensemble, run_pipeline, MiSeries, Pipeline, PipelineResult};
 pub use scenario::{
-    run_sweep, CellStatus, EnsembleStorage, RetryPolicy, ScenarioRegistry, ScenarioSpec, SweepCell,
-    SweepPlan, SweepReport, SweepRunner,
+    run_sweep, CellProvenance, CellStatus, EnsembleStorage, RetryPolicy, ScenarioRegistry,
+    ScenarioSpec, SweepCell, SweepPlan, SweepReport, SweepRunner,
 };
 pub use summary::{SummaryConfig, SummaryGroup, SweepSummary};
 

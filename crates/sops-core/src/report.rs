@@ -113,14 +113,19 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Writes a sweep report as JSON: one object per grid cell carrying the
+/// The sweep-report JSON body: one object per grid cell carrying the
 /// scenario/measure/seed coordinates, the cell status (`"ok"`, or
 /// `"failed"` with the quarantine reason), the summary `delta_mi`
 /// (`I(t_last) − I(t_0)`) and the full per-time-step series.
-pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
+///
+/// `include_provenance` appends each cell's `"provenance"` label and a
+/// `"cached"` boolean (`true` for any reused cell — cache hit, coalesced
+/// wait or checkpoint restore). The canonical `sweep.json`
+/// ([`write_sweep_json`]) always omits them: provenance is run metadata,
+/// and the byte-identity contract (a cached, coalesced or resumed run
+/// writes the same `sweep.json` as a cold one) holds over the canonical
+/// form. `sops-serve` returns the provenance-carrying form.
+pub fn sweep_json(report: &SweepReport, include_provenance: bool) -> String {
     let mut body = String::from("{\n  \"cells\": [\n");
     for (i, cell) in report.cells.iter().enumerate() {
         let r = &cell.result;
@@ -133,12 +138,21 @@ pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()
                 )
             }
         };
+        let provenance = if include_provenance {
+            format!(
+                ", \"provenance\": \"{}\", \"cached\": {}",
+                cell.provenance.label(),
+                cell.provenance.is_reused()
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             body,
             "    {{\"scenario\": {}, \"measure\": {}, \"seed\": {}, {status}, \
              \"delta_mi\": {}, \
              \"equilibrated_fraction\": {}, \"times\": [{}], \"mi_bits\": [{}], \
-             \"mean_icp_cost\": [{}]}}{}",
+             \"mean_icp_cost\": [{}]{provenance}}}{}",
             json_string(&cell.scenario),
             json_string(cell.measure.label()),
             cell.seed,
@@ -163,7 +177,16 @@ pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()
         );
     }
     body.push_str("  ]\n}\n");
-    std::fs::write(path, body)
+    body
+}
+
+/// Writes the canonical sweep-report JSON (the provenance-free
+/// [`sweep_json`] form — see there for the byte-identity contract).
+pub fn write_sweep_json(path: &Path, report: &SweepReport) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, sweep_json(report, false))
 }
 
 /// Writes a seed-axis summary as CSV: one row per (scenario, measure)
@@ -439,6 +462,7 @@ mod tests {
             measure_label: measure.label().into(),
             seed: 1,
             status: CellStatus::Ok,
+            provenance: crate::scenario::CellProvenance::Computed,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 10],
@@ -610,6 +634,7 @@ mod tests {
             measure_label: "ksg".into(),
             seed,
             status: CellStatus::Ok,
+            provenance: crate::scenario::CellProvenance::Computed,
             result: PipelineResult {
                 mi: MiSeries {
                     times: vec![0, 10],

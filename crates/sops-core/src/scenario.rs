@@ -46,6 +46,7 @@
 //! [`crate::checkpoint`] so an interrupted sweep resumes bit-identically
 //! (`tests/sweep_resume.rs`).
 
+use crate::cache::CellCache;
 use crate::checkpoint::SweepCheckpoint;
 use crate::error::SweepError;
 use crate::observers::{build_observers, ObserverMode};
@@ -694,7 +695,29 @@ impl SweepRunner {
     /// per-cell panic isolation. `Err` only for an invalid *plan*; cell
     /// failures are quarantined into the report.
     pub fn run(&mut self, plan: &SweepPlan) -> Result<SweepReport, SweepError> {
-        self.run_core(plan, None)
+        self.run_core(plan, None, None)
+    }
+
+    /// [`SweepRunner::run`] consulting a content-addressed cell cache:
+    /// before simulating a (scenario, seed) ensemble, every plan
+    /// measure's cell key ([`crate::checkpoint::cell_key`]) is looked up
+    /// in `cache`; only the missing measures are simulated and evaluated
+    /// (sharing one simulation pass), and fresh healthy cells are stored
+    /// back. Served cells carry [`CellProvenance::Cached`]. Results are
+    /// bit-identical to an uncached [`SweepRunner::run`] by construction:
+    /// the cache stores [`crate::wire::float_exact`] series keyed by
+    /// everything that determines them.
+    ///
+    /// `Err` for an invalid plan or one with no stable wire form
+    /// ([`SweepError::Unserializable`]); cache I/O trouble never fails
+    /// the sweep (corrupt entries are evicted and recomputed, store
+    /// failures are counted in [`CellCache::stats`] and skipped).
+    pub fn run_with_cache(
+        &mut self,
+        plan: &SweepPlan,
+        cache: &CellCache,
+    ) -> Result<SweepReport, SweepError> {
+        self.run_core(plan, None, Some(cache))
     }
 
     /// [`SweepRunner::run`] with per-cell checkpointing: ensembles whose
@@ -716,20 +739,31 @@ impl SweepRunner {
         checkpoint: &mut SweepCheckpoint,
         path: &Path,
     ) -> Result<SweepReport, SweepError> {
-        let plan_fp = crate::checkpoint::plan_fingerprint(plan)?;
-        if checkpoint.fingerprint() != plan_fp {
-            return Err(SweepError::FingerprintMismatch {
-                plan: format!("{plan_fp:016x}"),
-                checkpoint: format!("{:016x}", checkpoint.fingerprint()),
-            });
-        }
-        self.run_core(plan, Some((checkpoint, path)))
+        check_fingerprint(plan, checkpoint)?;
+        self.run_core(plan, Some((checkpoint, path)), None)
+    }
+
+    /// [`SweepRunner::run_with_checkpoint`] additionally consulting a
+    /// cell cache ([`SweepRunner::run_with_cache`]): checkpointed
+    /// ensembles are restored first (whole-ensemble atomicity), then the
+    /// cache serves individual cells, and only what is in neither gets
+    /// simulated. The combination the CLI's `--resume --cache` exposes.
+    pub fn run_with_checkpoint_and_cache(
+        &mut self,
+        plan: &SweepPlan,
+        checkpoint: &mut SweepCheckpoint,
+        path: &Path,
+        cache: &CellCache,
+    ) -> Result<SweepReport, SweepError> {
+        check_fingerprint(plan, checkpoint)?;
+        self.run_core(plan, Some((checkpoint, path)), Some(cache))
     }
 
     fn run_core(
         &mut self,
         plan: &SweepPlan,
         mut checkpoint: Option<(&mut SweepCheckpoint, &Path)>,
+        cache: Option<&CellCache>,
     ) -> Result<SweepReport, SweepError> {
         plan.validate()?;
         let labels = measure_labels(&plan.measures);
@@ -744,14 +778,25 @@ impl SweepRunner {
             for &seed in seeds {
                 let scenario = base.clone().with_seed(seed);
                 if let Some((ckpt, _)) = &checkpoint {
-                    if let Some(stored) =
+                    if let Some(mut stored) =
                         ckpt.ensemble_cells(&scenario.name, seed, &labels, &plan.measures)
                     {
+                        for cell in &mut stored {
+                            cell.provenance = CellProvenance::Restored;
+                        }
                         cells.extend(stored);
                         continue;
                     }
                 }
-                let produced = self.run_ensemble_cells(&scenario, seed, plan, &labels);
+                let produced = match cache {
+                    Some(cache) => {
+                        self.run_ensemble_cached(&scenario, seed, plan, &labels, cache)?
+                    }
+                    None => {
+                        let all: Vec<usize> = (0..plan.measures.len()).collect();
+                        self.run_ensemble_cells(&scenario, seed, plan, &labels, &all)
+                    }
+                };
                 if let Some((ckpt, path)) = &mut checkpoint {
                     ckpt.record(&produced);
                     ckpt.save(path, plan)?;
@@ -762,31 +807,114 @@ impl SweepRunner {
         Ok(SweepReport { cells })
     }
 
-    /// Simulates and evaluates one (scenario, seed) ensemble under panic
-    /// isolation, producing one cell per plan measure. Failure
-    /// containment is hierarchical: a simulation failure quarantines the
-    /// whole ensemble; a one-pass evaluation failure triggers a
-    /// per-measure fallback so only the poisoned measure's cells fail
-    /// (per-measure values are bit-identical to the one-pass values by
-    /// the engine's preparation-sharing contract).
+    /// One (scenario, seed) ensemble through the cell cache: hit cells
+    /// are served ([`CellProvenance::Cached`]), the missing subset shares
+    /// one simulation pass, and fresh healthy cells are stored back.
+    /// Subset evaluation is bit-identical to the full pass by the
+    /// engine's preparation-sharing contract (each step's prepared state
+    /// is measure-independent).
+    fn run_ensemble_cached(
+        &mut self,
+        scenario: &ScenarioSpec,
+        seed: u64,
+        plan: &SweepPlan,
+        labels: &[String],
+        cache: &CellCache,
+    ) -> Result<Vec<SweepCell>, SweepError> {
+        let mut slots: Vec<Option<SweepCell>> = Vec::with_capacity(plan.measures.len());
+        let mut keys = Vec::with_capacity(plan.measures.len());
+        let mut missing = Vec::new();
+        for (mi, measure) in plan.measures.iter().enumerate() {
+            let key = crate::checkpoint::cell_key(scenario, measure)?;
+            keys.push(key);
+            match cache.lookup(key) {
+                Some(result) => slots.push(Some(SweepCell {
+                    scenario: scenario.name.clone(),
+                    measure: *measure,
+                    measure_label: labels[mi].clone(),
+                    seed,
+                    status: CellStatus::Ok,
+                    provenance: CellProvenance::Cached,
+                    result,
+                })),
+                None => {
+                    slots.push(None);
+                    missing.push(mi);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let produced = self.run_ensemble_cells(scenario, seed, plan, labels, &missing);
+            for (cell, &mi) in produced.into_iter().zip(&missing) {
+                if cell.status.is_ok() {
+                    cache.store(keys[mi], &cell.result);
+                }
+                slots[mi] = Some(cell);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|c| c.expect("every measure slot is filled"))
+            .collect())
+    }
+
+    /// Simulates and evaluates one (scenario, seed) ensemble for the
+    /// plan-measure subset `selected` (indexes into `plan.measures`, in
+    /// output order). Delegates to [`SweepRunner::run_cells`].
     fn run_ensemble_cells(
         &mut self,
         scenario: &ScenarioSpec,
         seed: u64,
         plan: &SweepPlan,
         labels: &[String],
+        selected: &[usize],
     ) -> Vec<SweepCell> {
+        debug_assert_eq!(scenario.ensemble.seed, seed);
+        let measures: Vec<MeasureConfig> = selected.iter().map(|&mi| plan.measures[mi]).collect();
+        let sel_labels: Vec<String> = selected.iter().map(|&mi| labels[mi].clone()).collect();
+        self.run_cells(scenario, &measures, &sel_labels, plan.storage, plan.threads)
+    }
+
+    /// Simulates `scenario`'s ensemble **once** under panic isolation and
+    /// evaluates every selection in `measures` on it in one pass,
+    /// producing one [`SweepCell`] per measure (provenance
+    /// [`CellProvenance::Computed`], labels from `labels`, which must be
+    /// parallel to `measures`). This is the plan-free ensemble entry
+    /// point [`crate::broker::SweepBroker`] batches concurrent requests
+    /// through; [`SweepRunner::run`] routes every ensemble of a plan
+    /// through it too, so the two paths cannot drift.
+    ///
+    /// Failure containment is hierarchical: a simulation failure
+    /// quarantines the whole ensemble; a one-pass evaluation failure
+    /// triggers a per-measure fallback so only the poisoned measure's
+    /// cells fail (per-measure values are bit-identical to the one-pass
+    /// values by the engine's preparation-sharing contract).
+    pub fn run_cells(
+        &mut self,
+        scenario: &ScenarioSpec,
+        measures: &[MeasureConfig],
+        labels: &[String],
+        storage: EnsembleStorage,
+        threads: usize,
+    ) -> Vec<SweepCell> {
+        assert_eq!(
+            measures.len(),
+            labels.len(),
+            "run_cells: one label per measure"
+        );
         let retry = self.retry;
+        let seed = scenario.ensemble.seed;
         let mk_cell = |mi: usize, result: PipelineResult, status: CellStatus| SweepCell {
             scenario: scenario.name.clone(),
-            measure: plan.measures[mi],
+            measure: measures[mi],
             measure_label: labels[mi].clone(),
             seed,
             status,
+            provenance: CellProvenance::Computed,
             result,
         };
         let all_failed = |reason: &str| -> Vec<SweepCell> {
-            (0..plan.measures.len())
+            (0..measures.len())
                 .map(|mi| {
                     mk_cell(
                         mi,
@@ -799,22 +927,22 @@ impl SweepRunner {
                 .collect()
         };
         // Owned storage of the simulated ensemble; `EnsembleFrames`
-        // borrows whichever variant the plan's storage policy produced,
-        // and everything downstream is storage-agnostic.
+        // borrows whichever variant the storage policy produced, and
+        // everything downstream is storage-agnostic.
         enum Simulated {
             Retained(Ensemble),
             Streaming(StreamingEnsemble),
         }
-        let simulated = match plan.storage {
+        let simulated = match storage {
             EnsembleStorage::Retained => {
-                run_isolated(retry, || run_ensemble(&scenario.ensemble, plan.threads))
+                run_isolated(retry, || run_ensemble(&scenario.ensemble, threads))
                     .map(Simulated::Retained)
             }
             EnsembleStorage::Streaming { max_resident_bytes } => {
                 let times = scenario.eval_times();
                 let cfg = StreamingConfig { max_resident_bytes };
                 run_isolated(retry, || {
-                    run_streaming_ensemble(&scenario.ensemble, &times, plan.threads, &cfg)
+                    run_streaming_ensemble(&scenario.ensemble, &times, threads, &cfg)
                 })
                 .map(Simulated::Streaming)
             }
@@ -828,7 +956,7 @@ impl SweepRunner {
             Simulated::Streaming(s) => EnsembleFrames::Streaming(s),
         };
         match run_isolated(retry, || {
-            self.evaluate_frames(frames, scenario, &plan.measures, plan.threads)
+            self.evaluate_frames(frames, scenario, measures, threads)
         }) {
             Ok(results) => results
                 .into_iter()
@@ -840,11 +968,11 @@ impl SweepRunner {
                 // workers may hold mid-panic scratch; drop them so the
                 // fallback starts from clean (capacity-only) state.
                 self.workers.clear();
-                (0..plan.measures.len())
+                (0..measures.len())
                     .map(|mi| {
-                        let one = std::slice::from_ref(&plan.measures[mi]);
+                        let one = std::slice::from_ref(&measures[mi]);
                         match run_isolated(retry, || {
-                            self.evaluate_frames(frames, scenario, one, plan.threads)
+                            self.evaluate_frames(frames, scenario, one, threads)
                         }) {
                             Ok(mut results) => {
                                 let result = results.pop().expect("one measure in, one result out");
@@ -965,6 +1093,18 @@ impl SweepRunner {
     }
 }
 
+/// Rejects a checkpoint whose fingerprint does not bind `plan`.
+fn check_fingerprint(plan: &SweepPlan, checkpoint: &SweepCheckpoint) -> Result<(), SweepError> {
+    let plan_fp = crate::checkpoint::plan_fingerprint(plan)?;
+    if checkpoint.fingerprint() != plan_fp {
+        return Err(SweepError::FingerprintMismatch {
+            plan: format!("{plan_fp:016x}"),
+            checkpoint: format!("{:016x}", checkpoint.fingerprint()),
+        });
+    }
+    Ok(())
+}
+
 /// Convenience: run `plan` on a throwaway [`SweepRunner`].
 pub fn run_sweep(plan: &SweepPlan) -> Result<SweepReport, SweepError> {
     SweepRunner::new().run(plan)
@@ -1012,6 +1152,48 @@ impl CellStatus {
     }
 }
 
+/// How a cell's result entered the report: computed fresh this run,
+/// served from the content-addressed cell cache, coalesced onto another
+/// in-flight request's computation, or restored from a sweep checkpoint.
+///
+/// Provenance is run metadata, not a result. The canonical `sweep.json`
+/// ([`crate::report::write_sweep_json`]) deliberately omits it so a
+/// cached, coalesced or resumed run stays byte-identical to an uncached
+/// one; the provenance-carrying form ([`crate::report::sweep_json`] with
+/// `include_provenance = true`) is what `sops-serve` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellProvenance {
+    /// Simulated and evaluated in this run.
+    #[default]
+    Computed,
+    /// Served from the on-disk cell cache ([`crate::cache::CellCache`]).
+    Cached,
+    /// Waited on another in-flight request's identical cell
+    /// ([`crate::broker::SweepBroker`]) — never recomputed.
+    Coalesced,
+    /// Restored from a sweep checkpoint ([`crate::checkpoint`]).
+    Restored,
+}
+
+impl CellProvenance {
+    /// Lowercase wire label: `"computed"`, `"cached"`, `"coalesced"` or
+    /// `"restored"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellProvenance::Computed => "computed",
+            CellProvenance::Cached => "cached",
+            CellProvenance::Coalesced => "coalesced",
+            CellProvenance::Restored => "restored",
+        }
+    }
+
+    /// `true` when the result was reused (cache, coalescing, checkpoint)
+    /// rather than computed in this run.
+    pub fn is_reused(&self) -> bool {
+        !matches!(self, CellProvenance::Computed)
+    }
+}
+
 /// One grid cell: a scenario × seed × measure combination and its full
 /// per-time-step result.
 #[derive(Debug, Clone)]
@@ -1028,6 +1210,10 @@ pub struct SweepCell {
     pub seed: u64,
     /// Healthy, or quarantined with the panic reason.
     pub status: CellStatus,
+    /// How the result entered this report (computed / cached / coalesced
+    /// / restored). Metadata only — never part of the canonical
+    /// `sweep.json` bytes or the checkpoint wire format.
+    pub provenance: CellProvenance,
     /// The measured series — bit-identical to the standalone
     /// [`crate::run_pipeline`] run of the same cell
     /// ([`PipelineResult::empty`] if the cell failed).

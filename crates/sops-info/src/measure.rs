@@ -127,6 +127,39 @@ impl Default for MeasureConfig {
 }
 
 impl MeasureConfig {
+    /// The canonical measure family names, in the order the CLI and the
+    /// sweep service advertise them (each is accepted by [`parse`]
+    /// (MeasureConfig::parse)).
+    pub const FAMILIES: [&'static str; 5] = ["ksg", "kde", "binned", "discrete", "gaussian"];
+
+    /// Parses a measure selection by name: a family from [`FAMILIES`]
+    /// (MeasureConfig::FAMILIES), optionally suffixed `@EVERY` for the
+    /// strided form (`ksg@4` keeps every 4th ensemble sample; `discrete`
+    /// has no strided form). `None` for unknown names or a stride < 1.
+    /// Shared by `sops-repro` and `sops-serve` so the two front ends
+    /// cannot drift.
+    pub fn parse(name: &str) -> Option<MeasureConfig> {
+        if let Some((base, every)) = name.split_once('@') {
+            let every: usize = every.parse().ok().filter(|&e| e >= 1)?;
+            let family = match base {
+                "ksg" => StridedFamily::Ksg(KsgConfig::default()),
+                "kde" => StridedFamily::Kde(KdeConfig::default()),
+                "binned" => StridedFamily::Binned(BinningConfig::default()),
+                "gaussian" => StridedFamily::Gaussian,
+                _ => return None,
+            };
+            return Some(MeasureConfig::Strided { family, every });
+        }
+        Some(match name {
+            "ksg" => MeasureConfig::default(),
+            "kde" => MeasureConfig::Kde(KdeConfig::default()),
+            "binned" => MeasureConfig::Binned(BinningConfig::default()),
+            "discrete" => MeasureConfig::DiscretePlugin { bins: 6 },
+            "gaussian" => MeasureConfig::Gaussian,
+            _ => return None,
+        })
+    }
+
     /// The same selection with the worker-thread count overridden where
     /// the method has one (KSG, KDE; the other methods are sequential —
     /// they run in microseconds at ensemble sizes).
@@ -769,6 +802,33 @@ mod tests {
         );
         let reference = ws.multi_information(&manual_view, &MeasureConfig::default());
         assert_eq!(strided.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn parse_covers_every_family_and_rejects_junk() {
+        for name in MeasureConfig::FAMILIES {
+            let cfg = MeasureConfig::parse(name).unwrap();
+            assert_eq!(cfg.label(), name, "family name round-trips as its label");
+        }
+        assert!(matches!(
+            MeasureConfig::parse("ksg@4"),
+            Some(MeasureConfig::Strided {
+                family: StridedFamily::Ksg(_),
+                every: 4,
+            })
+        ));
+        assert!(matches!(
+            MeasureConfig::parse("gaussian@2"),
+            Some(MeasureConfig::Strided {
+                family: StridedFamily::Gaussian,
+                every: 2,
+            })
+        ));
+        assert!(MeasureConfig::parse("ksg@0").is_none(), "stride 0 rejected");
+        assert!(MeasureConfig::parse("ksg@").is_none());
+        assert!(MeasureConfig::parse("discrete@2").is_none());
+        assert!(MeasureConfig::parse("bogus").is_none());
+        assert!(MeasureConfig::parse("bogus@3").is_none());
     }
 
     #[test]

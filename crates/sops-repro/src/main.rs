@@ -6,7 +6,7 @@
 //! repro sweep [--scenario a[,b…]] [--measure ksg[,kde…]] [--seeds S1[,S2…]|A..B]
 //!             [--fast] [--threads T] [--out DIR] [--no-out] [--list]
 //!             [--save-baseline] [--check-baseline] [--baseline PATH]
-//!             [--checkpoint DIR] [--resume]
+//!             [--checkpoint DIR] [--resume] [--cache DIR]
 //! ```
 //!
 //! Without `--figure`, all figures run in order. `--fast` switches to the
@@ -33,6 +33,14 @@
 //! reported on one line and the sweep recomputes from scratch. Resumed
 //! sweeps are bit-identical to uninterrupted ones for any `--threads`.
 //!
+//! `--cache DIR` keeps a content-addressed store of completed cells
+//! (`sops_core::cache`): each (scenario, measure, seed) cell is looked
+//! up by its [`sops_core::checkpoint::cell_key`] before simulating and
+//! reused on a hit, so repeated sweeps over overlapping grids only pay
+//! for the cells they have never seen. Sweep outputs are bit-identical
+//! with or without the cache; corrupt entries are evicted and
+//! recomputed, never served.
+//!
 //! Exit codes:
 //!
 //! | code | meaning                                                    |
@@ -47,7 +55,9 @@ use sops_core::report::{write_summary_csv, write_summary_json, write_sweep_csv, 
 use sops_core::scenario::{
     CellStatus, EnsembleStorage, ScenarioRegistry, ScenarioSpec, SweepPlan, SweepRunner,
 };
-use sops_core::{figures, RunOptions, SweepBaseline, SweepCheckpoint, SweepError, SweepSummary};
+use sops_core::{
+    figures, CellCache, RunOptions, SweepBaseline, SweepCheckpoint, SweepError, SweepSummary,
+};
 use sops_info::MeasureConfig;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -63,15 +73,13 @@ struct Args {
     list: bool,
 }
 
-const ALL_MEASURES: [&str; 5] = ["ksg", "kde", "binned", "discrete", "gaussian"];
-
 fn usage_text() -> String {
     format!(
         "usage: repro [--figure figN[,figM...]] [--fast] [--seed S] [--threads T] [--out DIR] [--list]\n\
          \x20      repro sweep [--scenario a[,b...]] [--measure m[,m2...]] [--seeds S1[,S2...]|A..B]\n\
          \x20                  [--fast] [--threads T] [--out DIR] [--no-out] [--list]\n\
          \x20                  [--save-baseline] [--check-baseline] [--baseline PATH]\n\
-         \x20                  [--checkpoint DIR] [--resume] [--retained]\n\
+         \x20                  [--checkpoint DIR] [--resume] [--retained] [--cache DIR]\n\
          \x20      --seeds accepts inclusive ranges: 1..8 and 1..=8 both mean seeds 1-8\n\
          \x20      --checkpoint saves DIR/sweep_checkpoint.json after every ensemble;\n\
          \x20      --resume (requires --checkpoint) skips ensembles it already holds\n\
@@ -79,11 +87,14 @@ fn usage_text() -> String {
          \x20      scheduled frames; results are bit-identical either way)\n\
          \x20      --measure NAME@EVERY subsamples every EVERY-th ensemble sample\n\
          \x20      before estimating (e.g. ksg@4; discrete has no strided form)\n\
+         \x20      --cache DIR reuses content-addressed cell results across runs\n\
+         \x20      (keyed by scenario physics x measure x seed; results are\n\
+         \x20      bit-identical with or without the cache)\n\
          figures:  {}\n\
          measures: {}\n\
          exit codes: 0 ok, 1 i/o, 2 usage, 3 quarantined cells, 4 baseline check failed",
         ALL_FIGURES.join(", "),
-        ALL_MEASURES.join(", ")
+        MeasureConfig::FAMILIES.join(", ")
     )
 }
 
@@ -120,26 +131,10 @@ fn sweep_exit_code(quarantined: bool, baseline_failed: bool) -> u8 {
     }
 }
 
+/// Measure selections delegate to the shared [`MeasureConfig::parse`]
+/// so the CLI and `sops-serve` can never drift on the accepted names.
 fn parse_measure(name: &str) -> Option<MeasureConfig> {
-    if let Some((base, every)) = name.split_once('@') {
-        let every: usize = every.parse().ok().filter(|&e| e >= 1)?;
-        let family = match base {
-            "ksg" => sops_info::StridedFamily::Ksg(sops_info::KsgConfig::default()),
-            "kde" => sops_info::StridedFamily::Kde(sops_info::KdeConfig::default()),
-            "binned" => sops_info::StridedFamily::Binned(sops_info::BinningConfig::default()),
-            "gaussian" => sops_info::StridedFamily::Gaussian,
-            _ => return None,
-        };
-        return Some(MeasureConfig::Strided { family, every });
-    }
-    Some(match name {
-        "ksg" => MeasureConfig::default(),
-        "kde" => MeasureConfig::Kde(sops_info::KdeConfig::default()),
-        "binned" => MeasureConfig::Binned(sops_info::BinningConfig::default()),
-        "discrete" => MeasureConfig::DiscretePlugin { bins: 6 },
-        "gaussian" => MeasureConfig::Gaussian,
-        _ => return None,
-    })
+    MeasureConfig::parse(name)
 }
 
 fn parse_args() -> Args {
@@ -238,6 +233,7 @@ struct SweepArgs {
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
     retained: bool,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 /// One `--seeds` element: a plain seed (`7`) or an inclusive range
@@ -273,6 +269,7 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
         checkpoint_dir: None,
         resume: false,
         retained: false,
+        cache_dir: None,
     };
     let csv = |value: &str| -> Vec<String> {
         value
@@ -334,6 +331,12 @@ fn parse_sweep_args(argv: &[String]) -> SweepArgs {
             }
             "--resume" => args.resume = true,
             "--retained" => args.retained = true,
+            "--cache" => {
+                i += 1;
+                args.cache_dir = Some(std::path::PathBuf::from(
+                    argv.get(i).unwrap_or_else(|| usage()),
+                ));
+            }
             "--help" | "-h" => help(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -388,7 +391,10 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         scenarios = scenarios.into_iter().map(fast_scenario).collect();
     }
     let measure_names: Vec<String> = if args.measures.is_empty() {
-        ALL_MEASURES.iter().map(|s| s.to_string()).collect()
+        MeasureConfig::FAMILIES
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args.measures.clone()
     };
@@ -399,7 +405,7 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
             None => {
                 eprintln!(
                     "unknown measure '{name}' (known: {})",
-                    ALL_MEASURES.join(", ")
+                    MeasureConfig::FAMILIES.join(", ")
                 );
                 return ExitCode::from(2);
             }
@@ -425,6 +431,16 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         plan.ensemble_count(),
         if args.fast { ", fast mode" } else { "" }
     );
+    let cache = match &args.cache_dir {
+        Some(dir) => match CellCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(error_exit_code(&e));
+            }
+        },
+        None => None,
+    };
     let t0 = Instant::now();
     let mut runner = SweepRunner::new();
     let run_result = match &args.checkpoint_dir {
@@ -449,11 +465,17 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
                 None
             };
             match checkpoint.map_or_else(|| SweepCheckpoint::new(&plan), Ok) {
-                Ok(mut c) => runner.run_with_checkpoint(&plan, &mut c, &path),
+                Ok(mut c) => match &cache {
+                    Some(cc) => runner.run_with_checkpoint_and_cache(&plan, &mut c, &path, cc),
+                    None => runner.run_with_checkpoint(&plan, &mut c, &path),
+                },
                 Err(e) => Err(e),
             }
         }
-        None => runner.run(&plan),
+        None => match &cache {
+            Some(cc) => runner.run_with_cache(&plan, cc),
+            None => runner.run(&plan),
+        },
     };
     let report = match run_result {
         Ok(r) => r,
@@ -463,6 +485,17 @@ fn run_sweep_cmd(argv: &[String]) -> ExitCode {
         }
     };
     println!("\n{}", report.grid_table());
+    if let Some(cc) = &cache {
+        let s = cc.stats();
+        println!(
+            "cell cache {}: {} hit(s), {} miss(es), {} store(s), {} eviction(s)",
+            cc.dir().display(),
+            s.hits,
+            s.misses,
+            s.stores,
+            s.evictions
+        );
+    }
     let failed = report.failed_cells();
     if !failed.is_empty() {
         eprintln!(

@@ -62,10 +62,11 @@ pub use sops_spatial as spatial;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sops_core::{
-        evaluate_ensemble, run_pipeline, run_sweep, CellStatus, EnsembleStorage, MiSeries,
-        ObserverMode, Pipeline, PipelineResult, RetryPolicy, RunOptions, ScenarioRegistry,
-        ScenarioSpec, SummaryConfig, SweepBaseline, SweepCell, SweepCheckpoint, SweepError,
-        SweepPlan, SweepReport, SweepRunner, SweepSummary,
+        evaluate_ensemble, run_pipeline, run_sweep, BrokerStats, CacheStats, CellCache,
+        CellProvenance, CellStatus, EnsembleStorage, MiSeries, ObserverMode, Pipeline,
+        PipelineResult, RetryPolicy, RunOptions, ScenarioRegistry, ScenarioSpec, SummaryConfig,
+        SweepBaseline, SweepBroker, SweepCell, SweepCheckpoint, SweepError, SweepPlan, SweepReport,
+        SweepRunner, SweepSummary,
     };
     pub use sops_info::{
         InfoWorkspace, KnnMode, KsgConfig, KsgVariant, MeasureConfig, MeasureWorkspace, SampleView,
